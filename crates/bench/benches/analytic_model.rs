@@ -1,0 +1,46 @@
+//! Benchmarks of the analytic A100 roofline model itself, sweeping the workloads of
+//! Figures 1, 9, 10 and Table 1. The model is closed-form, so these benches measure
+//! the sweep cost and act as a regression guard on the estimator's outputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use keyformer_perf::{CachePolicyCost, PerfModel, Workload};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Figures 1/9/10 and Table 1: estimate every workload × policy combination.
+fn bench_roofline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roofline");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let model = PerfModel::paper_default();
+    let policies = [
+        CachePolicyCost::full_attention(),
+        CachePolicyCost::h2o(0.9),
+        CachePolicyCost::keyformer(0.5),
+        CachePolicyCost::window(0.5),
+    ];
+    for seq in [512usize, 2048, 8192] {
+        group.bench_with_input(BenchmarkId::new("estimate_sweep", seq), &seq, |b, &seq| {
+            b.iter(|| {
+                let workload = Workload::figure1(seq);
+                for policy in &policies {
+                    black_box(model.estimate(black_box(&workload), policy));
+                }
+            });
+        });
+    }
+    group.bench_function("table1_batch_search", |b| {
+        b.iter(|| {
+            let workload = Workload::symmetric(4096).with_beam_size(4);
+            for policy in &policies {
+                black_box(model.max_batch_size(&workload, policy, 64));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(analytic_model, bench_roofline);
+criterion_main!(analytic_model);

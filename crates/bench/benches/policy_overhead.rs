@@ -1,0 +1,85 @@
+//! Per-step policy cost: the score function (Figure 10's Gumbel-softmax overhead,
+//! Table 4's adjustment ablation) and the eviction selection itself (Table 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use keyformer_bench::{observation, synthetic_logits};
+use keyformer_core::accumulator::ScoreScope;
+use keyformer_core::adjustment::LogitAdjustment;
+use keyformer_core::budget::CacheBudget;
+use keyformer_core::policies::keyformer::{Keyformer, KeyformerConfig};
+use keyformer_core::policy::KvCachePolicy;
+use keyformer_core::spec::PolicySpec;
+use keyformer_core::temperature::TemperatureSchedule;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configure(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+/// Figure 10 / Table 4: cost of one score-function update per logit-adjustment
+/// distribution.
+fn bench_score_function(c: &mut Criterion) {
+    let mut group = c.benchmark_group("score_function");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let logits = synthetic_logits(2048, 7);
+    for adjustment in [
+        LogitAdjustment::None,
+        LogitAdjustment::paper_constant(),
+        LogitAdjustment::paper_gaussian(),
+        LogitAdjustment::Gumbel,
+    ] {
+        let mut policy = Keyformer::new(
+            KeyformerConfig::default()
+                .with_adjustment(adjustment)
+                .with_temperature(TemperatureSchedule::default())
+                .with_scope(ScoreScope::PerLayer),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("observe", adjustment.label()),
+            &logits,
+            |b, logits| {
+                b.iter(|| policy.observe(black_box(&observation(logits))));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Table 3 ablation / per-step eviction cost of every policy at a 2k-token cache.
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let live = 2048usize;
+    let budget = CacheBudget::new(1024, 307);
+    let logits = synthetic_logits(live, 11);
+    for spec in [
+        PolicySpec::Window,
+        PolicySpec::streaming_default(),
+        PolicySpec::h2o_default(),
+        PolicySpec::keyformer_default(),
+    ] {
+        let mut policy = spec.build().expect("valid spec");
+        // Populate accumulated scores before measuring selection.
+        policy.observe(&observation(&logits));
+        group.bench_function(BenchmarkId::new("select_retained", spec.label()), |b| {
+            b.iter(|| black_box(policy.select_retained(0, live, &budget)));
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let c = configure(c);
+    bench_score_function(c);
+    bench_selection(c);
+}
+
+criterion_group!(policy_overhead, benches);
+criterion_main!(policy_overhead);

@@ -1,0 +1,87 @@
+//! # keyformer-bench
+//!
+//! Shared fixtures for the Criterion benchmarks. The benchmark targets map to the
+//! paper's artefacts as follows:
+//!
+//! | bench target | group | paper artefact |
+//! |---|---|---|
+//! | `policy_overhead` | `score_function` | Figure 10 (Gumbel softmax overhead), Table 4 ablation |
+//! | `policy_overhead` | `selection` | per-step eviction cost of every policy (Table 3 ablation) |
+//! | `decode_step` | `attention_step` | Figures 1/9 (per-token cost vs. live cache size) |
+//! | `decode_step` | `end_to_end` | Figure 9 / Table 1 (full request latency per policy) |
+//! | `analytic_model` | `roofline` | Figures 1, 9, 10 and Table 1 on the A100 model |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use keyformer_core::observation::{AttentionObservation, Phase};
+use keyformer_text::datasets::summarization::{SummarizationDataset, SummarizationSpec};
+use keyformer_text::datasets::Sample;
+
+/// A deterministic pseudo-random logit vector of the given length, emulating one
+/// attention head's unnormalized scores over a cache.
+pub fn synthetic_logits(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let mut x = (i as u64 + 1)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed.wrapping_mul(0x9e3779b97f4a7c15));
+            x ^= x >> 29;
+            x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+            x ^= x >> 32;
+            ((x >> 33) as f32 / (u32::MAX >> 1) as f32) * 6.0 - 3.0
+        })
+        .collect()
+}
+
+/// Wraps a logit slice in an [`AttentionObservation`] for benchmarking `observe`.
+pub fn observation(logits: &[f32]) -> AttentionObservation<'_> {
+    AttentionObservation {
+        layer: 0,
+        head: 0,
+        phase: Phase::Generation,
+        step: 4,
+        total_steps: 32,
+        logits,
+    }
+}
+
+/// A small summarization workload used by the end-to-end decode benchmarks.
+pub fn bench_samples(num: usize) -> Vec<Sample> {
+    let spec = SummarizationSpec {
+        article_len: 192,
+        num_facts: 6,
+        filler_pool: 120,
+        plant_span: 0.75,
+        seed: 9_999,
+    };
+    SummarizationDataset::generate(&spec, num).samples().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_logits_are_deterministic_and_bounded() {
+        let a = synthetic_logits(64, 1);
+        let b = synthetic_logits(64, 1);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|x| x.abs() <= 3.0));
+        assert_ne!(a, synthetic_logits(64, 2));
+    }
+
+    #[test]
+    fn observation_wraps_logits() {
+        let logits = synthetic_logits(8, 3);
+        let obs = observation(&logits);
+        assert_eq!(obs.live_slots(), 8);
+    }
+
+    #[test]
+    fn bench_samples_are_generated() {
+        let samples = bench_samples(2);
+        assert_eq!(samples.len(), 2);
+        assert!(samples[0].prompt.len() > 150);
+    }
+}

@@ -1,0 +1,345 @@
+//! The KV cache: per-layer storage of key/value vectors for every retained token slot.
+//!
+//! The cache stores *unrotated* keys together with each token's original sequence
+//! position. Positional encodings (RoPE / ALiBi) are applied by the attention module
+//! at read time, which is what lets the reproduction switch between the paper's
+//! "original position" and "new position" ablations (Table 3) without recomputing
+//! keys.
+
+use crate::CoreError;
+use keyformer_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Key/value storage for a single decoder layer.
+///
+/// Slots are kept in insertion order; `positions[i]` records the original sequence
+/// position of slot `i`. Per head, `keys[head]` and `values[head]` are
+/// `(n_slots, head_dim)` matrices whose rows parallel the slot order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerKvCache {
+    num_heads: usize,
+    head_dim: usize,
+    keys: Vec<Matrix>,
+    values: Vec<Matrix>,
+    positions: Vec<usize>,
+}
+
+impl LayerKvCache {
+    /// Creates an empty per-layer cache for `num_heads` heads of width `head_dim`.
+    pub fn new(num_heads: usize, head_dim: usize) -> Self {
+        LayerKvCache {
+            num_heads,
+            head_dim,
+            keys: (0..num_heads).map(|_| Matrix::zeros(0, 0)).collect(),
+            values: (0..num_heads).map(|_| Matrix::zeros(0, 0)).collect(),
+            positions: Vec::new(),
+        }
+    }
+
+    /// Number of live token slots.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` when no slots are stored.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Number of attention heads this cache serves.
+    pub fn num_heads(&self) -> usize {
+        self.num_heads
+    }
+
+    /// Per-head key/value vector width.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Original sequence positions of the live slots, in slot order.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// Key matrix of `head` with one row per live slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head >= num_heads`.
+    pub fn keys(&self, head: usize) -> &Matrix {
+        &self.keys[head]
+    }
+
+    /// Value matrix of `head` with one row per live slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head >= num_heads`.
+    pub fn values(&self, head: usize) -> &Matrix {
+        &self.values[head]
+    }
+
+    /// Appends one token's per-head key and value vectors.
+    ///
+    /// `keys_per_head[h]` and `values_per_head[h]` must each have length `head_dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the number of heads or any vector
+    /// length is wrong.
+    pub fn append(
+        &mut self,
+        position: usize,
+        keys_per_head: &[Vec<f32>],
+        values_per_head: &[Vec<f32>],
+    ) -> Result<(), CoreError> {
+        if keys_per_head.len() != self.num_heads || values_per_head.len() != self.num_heads {
+            return Err(CoreError::InvalidConfig(format!(
+                "expected {} heads, got {} keys / {} values",
+                self.num_heads,
+                keys_per_head.len(),
+                values_per_head.len()
+            )));
+        }
+        for (k, v) in keys_per_head.iter().zip(values_per_head) {
+            if k.len() != self.head_dim || v.len() != self.head_dim {
+                return Err(CoreError::InvalidConfig(format!(
+                    "expected head_dim {}, got key {} / value {}",
+                    self.head_dim,
+                    k.len(),
+                    v.len()
+                )));
+            }
+        }
+        for h in 0..self.num_heads {
+            self.keys[h].push_row(&keys_per_head[h]);
+            self.values[h].push_row(&values_per_head[h]);
+        }
+        self.positions.push(position);
+        Ok(())
+    }
+
+    /// Compacts the cache down to the given slot indices.
+    ///
+    /// `retained` must be sorted, unique and in-bounds; this is the contract policies
+    /// must satisfy in [`crate::policy::KvCachePolicy::select_retained`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSelection`] if the contract is violated.
+    pub fn retain_slots(&mut self, retained: &[usize]) -> Result<(), CoreError> {
+        validate_selection(retained, self.len())?;
+        for h in 0..self.num_heads {
+            self.keys[h] = self.keys[h].gather_rows(retained);
+            self.values[h] = self.values[h].gather_rows(retained);
+        }
+        self.positions = retained.iter().map(|&i| self.positions[i]).collect();
+        Ok(())
+    }
+
+    /// Removes every slot.
+    pub fn clear(&mut self) {
+        for h in 0..self.num_heads {
+            self.keys[h] = Matrix::zeros(0, 0);
+            self.values[h] = Matrix::zeros(0, 0);
+        }
+        self.positions.clear();
+    }
+
+    /// Approximate memory footprint of the stored keys and values, in bytes.
+    ///
+    /// This is the quantity the paper's Figure 1(b) tracks (KV-cache size vs. model
+    /// size) and the input to the data-movement model in `keyformer-perf`.
+    pub fn byte_size(&self) -> usize {
+        self.keys
+            .iter()
+            .chain(self.values.iter())
+            .map(Matrix::byte_size)
+            .sum()
+    }
+}
+
+/// The full KV cache of a decoder stack: one [`LayerKvCache`] per layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KvCache {
+    layers: Vec<LayerKvCache>,
+}
+
+impl KvCache {
+    /// Creates an empty cache for `num_layers` layers, each with `num_heads` heads of
+    /// width `head_dim`.
+    pub fn new(num_layers: usize, num_heads: usize, head_dim: usize) -> Self {
+        KvCache {
+            layers: (0..num_layers)
+                .map(|_| LayerKvCache::new(num_heads, head_dim))
+                .collect(),
+        }
+    }
+
+    /// Number of decoder layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Borrow of a layer's cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of bounds.
+    pub fn layer(&self, layer: usize) -> &LayerKvCache {
+        &self.layers[layer]
+    }
+
+    /// Mutable borrow of a layer's cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of bounds.
+    pub fn layer_mut(&mut self, layer: usize) -> &mut LayerKvCache {
+        &mut self.layers[layer]
+    }
+
+    /// Iterator over layer caches.
+    pub fn iter(&self) -> impl Iterator<Item = &LayerKvCache> {
+        self.layers.iter()
+    }
+
+    /// Total number of live slots summed over layers.
+    pub fn total_slots(&self) -> usize {
+        self.layers.iter().map(LayerKvCache::len).sum()
+    }
+
+    /// Total byte footprint summed over layers.
+    pub fn byte_size(&self) -> usize {
+        self.layers.iter().map(LayerKvCache::byte_size).sum()
+    }
+
+    /// Clears every layer.
+    pub fn clear(&mut self) {
+        for layer in &mut self.layers {
+            layer.clear();
+        }
+    }
+}
+
+/// Validates the retained-slot contract: sorted, unique, in-bounds.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidSelection`] describing the first violation found.
+pub fn validate_selection(retained: &[usize], live: usize) -> Result<(), CoreError> {
+    let mut prev: Option<usize> = None;
+    for &idx in retained {
+        if idx >= live {
+            return Err(CoreError::InvalidSelection(format!(
+                "slot {idx} out of bounds for cache of {live} slots"
+            )));
+        }
+        if let Some(p) = prev {
+            if idx <= p {
+                return Err(CoreError::InvalidSelection(format!(
+                    "retained slots must be strictly increasing, saw {p} then {idx}"
+                )));
+            }
+        }
+        prev = Some(idx);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled_layer(slots: usize) -> LayerKvCache {
+        let mut layer = LayerKvCache::new(2, 3);
+        for i in 0..slots {
+            let k = vec![vec![i as f32; 3], vec![i as f32 + 0.5; 3]];
+            let v = vec![vec![10.0 + i as f32; 3], vec![20.0 + i as f32; 3]];
+            layer.append(i, &k, &v).unwrap();
+        }
+        layer
+    }
+
+    #[test]
+    fn append_grows_all_heads() {
+        let layer = filled_layer(4);
+        assert_eq!(layer.len(), 4);
+        assert_eq!(layer.keys(0).shape(), (4, 3));
+        assert_eq!(layer.values(1).shape(), (4, 3));
+        assert_eq!(layer.positions(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn append_validates_shapes() {
+        let mut layer = LayerKvCache::new(2, 3);
+        // Wrong number of heads.
+        assert!(layer
+            .append(0, &[vec![0.0; 3]], &[vec![0.0; 3]])
+            .is_err());
+        // Wrong head_dim.
+        assert!(layer
+            .append(0, &[vec![0.0; 2], vec![0.0; 3]], &[vec![0.0; 3], vec![0.0; 3]])
+            .is_err());
+    }
+
+    #[test]
+    fn retain_slots_compacts_keys_values_positions() {
+        let mut layer = filled_layer(5);
+        layer.retain_slots(&[0, 3, 4]).unwrap();
+        assert_eq!(layer.len(), 3);
+        assert_eq!(layer.positions(), &[0, 3, 4]);
+        assert_eq!(layer.keys(0).row(1), &[3.0, 3.0, 3.0]);
+        assert_eq!(layer.values(1).row(2), &[24.0, 24.0, 24.0]);
+    }
+
+    #[test]
+    fn retain_slots_rejects_bad_selections() {
+        let mut layer = filled_layer(3);
+        assert!(layer.retain_slots(&[0, 5]).is_err());
+        assert!(layer.retain_slots(&[1, 1]).is_err());
+        assert!(layer.retain_slots(&[2, 1]).is_err());
+        // A valid empty selection clears the cache.
+        layer.retain_slots(&[]).unwrap();
+        assert!(layer.is_empty());
+    }
+
+    #[test]
+    fn byte_size_tracks_slots() {
+        let layer = filled_layer(4);
+        // 2 heads * (keys + values) * 4 slots * 3 dims * 4 bytes.
+        assert_eq!(layer.byte_size(), 2 * 2 * 4 * 3 * 4);
+    }
+
+    #[test]
+    fn clear_empties_layer() {
+        let mut layer = filled_layer(3);
+        layer.clear();
+        assert!(layer.is_empty());
+        assert_eq!(layer.byte_size(), 0);
+    }
+
+    #[test]
+    fn kv_cache_aggregates_layers() {
+        let mut cache = KvCache::new(3, 2, 3);
+        for l in 0..3 {
+            let k = vec![vec![0.0; 3], vec![0.0; 3]];
+            let v = k.clone();
+            cache.layer_mut(l).append(0, &k, &v).unwrap();
+        }
+        assert_eq!(cache.num_layers(), 3);
+        assert_eq!(cache.total_slots(), 3);
+        assert!(cache.byte_size() > 0);
+        cache.clear();
+        assert_eq!(cache.total_slots(), 0);
+    }
+
+    #[test]
+    fn validate_selection_contract() {
+        assert!(validate_selection(&[0, 1, 2], 3).is_ok());
+        assert!(validate_selection(&[], 0).is_ok());
+        assert!(validate_selection(&[3], 3).is_err());
+        assert!(validate_selection(&[1, 0], 3).is_err());
+        assert!(validate_selection(&[0, 0], 3).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! # keyformer-core
+//!
+//! The primary contribution of the Keyformer paper (Adnan et al., MLSys 2024),
+//! implemented from scratch: inference-time KV-cache reduction by retaining a small
+//! recent window plus a set of *key tokens* selected by a Gumbel-regularized,
+//! temperature-annealed score function.
+//!
+//! The crate is organised around three ideas:
+//!
+//! 1. [`cache::KvCache`] — the per-layer key/value store a decoder fills during the
+//!    prompt phase and reads during token generation. Eviction means *compacting* a
+//!    layer's slots down to a [`budget::CacheBudget`].
+//! 2. [`policy::KvCachePolicy`] — the trait every cache-reduction strategy
+//!    implements: it observes the unnormalized attention logits produced at each
+//!    decode step and, when asked, returns the set of slots to retain.
+//! 3. The policy zoo in [`policies`] — Full attention, Window / Dilated-window
+//!    attention, key-token-only attention, H2O (heavy hitters), a damped-score
+//!    variant (Figure 5), StreamingLLM-style attention sinks, and **Keyformer**
+//!    itself.
+//!
+//! ```
+//! use keyformer_core::budget::CacheBudget;
+//! use keyformer_core::observation::{AttentionObservation, Phase};
+//! use keyformer_core::policies::keyformer::{Keyformer, KeyformerConfig};
+//! use keyformer_core::policy::KvCachePolicy;
+//!
+//! // A Keyformer policy with a 4-slot budget, 2 of which are a recent window.
+//! let mut policy = Keyformer::new(KeyformerConfig::default().with_seed(7));
+//! let budget = CacheBudget::new(4, 2);
+//!
+//! // Observe one decode step over a 6-token cache, then compact 6 -> 4.
+//! let logits = [2.0, 0.1, 0.3, 1.5, 0.2, 0.4];
+//! policy.observe(&AttentionObservation {
+//!     layer: 0,
+//!     head: 0,
+//!     phase: Phase::Prompt,
+//!     step: 0,
+//!     total_steps: 8,
+//!     logits: &logits,
+//! });
+//! let retained = policy.select_retained(0, logits.len(), &budget);
+//! assert_eq!(retained.len(), 4);
+//! // The recent window (slots 4 and 5) is always preserved.
+//! assert!(retained.contains(&4) && retained.contains(&5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accumulator;
+pub mod adjustment;
+pub mod budget;
+pub mod cache;
+pub mod diagnostics;
+pub mod observation;
+pub mod policies;
+pub mod policy;
+pub mod spec;
+pub mod temperature;
+
+pub use accumulator::{ScoreAccumulator, ScoreScope};
+pub use adjustment::LogitAdjustment;
+pub use budget::{CacheBudget, CacheBudgetSpec};
+pub use cache::{KvCache, LayerKvCache};
+pub use observation::{AttentionObservation, Phase};
+pub use policies::full::FullAttention;
+pub use policies::h2o::H2O;
+pub use policies::keyformer::{Keyformer, KeyformerConfig};
+pub use policies::streaming::StreamingLlm;
+pub use policies::window::WindowAttention;
+pub use policy::KvCachePolicy;
+pub use spec::PolicySpec;
+pub use temperature::TemperatureSchedule;
+
+/// Errors produced by cache and policy operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A cache budget or policy configuration was structurally invalid.
+    InvalidConfig(String),
+    /// A retained-slot set did not satisfy the compaction contract
+    /// (sorted, unique, in-bounds, correct length).
+    InvalidSelection(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::InvalidSelection(msg) => write!(f, "invalid selection: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_and_display() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+        assert!(CoreError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(CoreError::InvalidSelection("y".into())
+            .to_string()
+            .contains("y"));
+    }
+}

@@ -1,0 +1,120 @@
+//! "Key Attention": top-k tokens by accumulated attention score, with no recent
+//! window. This is the strawman of Figure 3c — it loses recent context and therefore
+//! underperforms despite keeping the highest-attention tokens.
+
+use crate::accumulator::{ScoreAccumulator, ScoreScope};
+use crate::budget::CacheBudget;
+use crate::observation::AttentionObservation;
+use crate::policy::KvCachePolicy;
+use keyformer_tensor::ops::softmax;
+use keyformer_tensor::top_k_indices;
+
+/// Pure key-token attention: retain the `capacity` slots with the highest accumulated
+/// softmax attention score and nothing else.
+#[derive(Debug, Clone)]
+pub struct KeyOnlyAttention {
+    accumulator: ScoreAccumulator,
+}
+
+impl KeyOnlyAttention {
+    /// Creates the policy with a per-layer score accumulator.
+    pub fn new() -> Self {
+        KeyOnlyAttention {
+            accumulator: ScoreAccumulator::new(ScoreScope::PerLayer),
+        }
+    }
+}
+
+impl Default for KeyOnlyAttention {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KvCachePolicy for KeyOnlyAttention {
+    fn name(&self) -> &'static str {
+        "key-only"
+    }
+
+    fn observe(&mut self, obs: &AttentionObservation<'_>) {
+        let probs = softmax(obs.logits);
+        self.accumulator.accumulate(obs.layer, &probs);
+    }
+
+    fn select_retained(&mut self, layer: usize, live: usize, budget: &CacheBudget) -> Vec<usize> {
+        let scores = self.accumulator.scores(layer, live);
+        top_k_indices(&scores, budget.capacity().min(live))
+    }
+
+    fn compact(&mut self, layer: usize, retained: &[usize]) {
+        self.accumulator.compact(layer, retained);
+    }
+
+    fn reset(&mut self) {
+        self.accumulator.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::Phase;
+
+    fn observe(policy: &mut KeyOnlyAttention, layer: usize, logits: &[f32]) {
+        policy.observe(&AttentionObservation {
+            layer,
+            head: 0,
+            phase: Phase::Prompt,
+            step: 0,
+            total_steps: 4,
+            logits,
+        });
+    }
+
+    #[test]
+    fn keeps_highest_scoring_slots_regardless_of_recency() {
+        let mut p = KeyOnlyAttention::new();
+        // Slot 0 dominates attention; slots 3 and 4 are the most recent.
+        observe(&mut p, 0, &[5.0, 0.0, 0.0, 0.1, 0.1]);
+        observe(&mut p, 0, &[5.0, 0.0, 0.0, 0.1, 0.1]);
+        let budget = CacheBudget::new(2, 1);
+        let sel = p.select_retained(0, 5, &budget);
+        assert!(sel.contains(&0), "dominant early token must survive");
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn compaction_remaps_scores() {
+        let mut p = KeyOnlyAttention::new();
+        observe(&mut p, 0, &[3.0, 0.0, 2.9, 0.0]);
+        let budget = CacheBudget::new(2, 1);
+        let sel = p.select_retained(0, 4, &budget);
+        assert_eq!(sel, vec![0, 2]);
+        p.compact(0, &sel);
+        // After compaction the two survivors occupy slots 0 and 1; another eviction
+        // round must still rank the old slot 0 first.
+        let sel2 = p.select_retained(0, 2, &CacheBudget::new(1, 1));
+        assert_eq!(sel2, vec![0]);
+    }
+
+    #[test]
+    fn layers_are_scored_independently() {
+        let mut p = KeyOnlyAttention::new();
+        observe(&mut p, 0, &[5.0, 0.0, 0.0]);
+        observe(&mut p, 1, &[0.0, 0.0, 5.0]);
+        let budget = CacheBudget::new(1, 1);
+        assert_eq!(p.select_retained(0, 3, &budget), vec![0]);
+        assert_eq!(p.select_retained(1, 3, &budget), vec![2]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = KeyOnlyAttention::new();
+        observe(&mut p, 0, &[5.0, 0.0]);
+        p.reset();
+        // With no observations scores are all zero; ties resolve to earliest indices.
+        let sel = p.select_retained(0, 4, &CacheBudget::new(2, 1));
+        assert_eq!(sel, vec![0, 1]);
+        assert_eq!(p.name(), "key-only");
+    }
+}

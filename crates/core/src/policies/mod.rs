@@ -1,0 +1,19 @@
+//! The policy zoo: every KV-cache reduction strategy evaluated in the paper.
+//!
+//! | Module | Paper name | Selection rule |
+//! |---|---|---|
+//! | [`full`] | Full Attention | never evicts (gold-standard baseline) |
+//! | [`window`] | Window / Dilated Window Attention | most recent `k` slots (optionally dilated) |
+//! | [`key_only`] | Key Attention (Figure 3c) | top-`k` slots by accumulated attention, no recent window |
+//! | [`h2o`] | H2O heavy hitters | recent window + top accumulated softmax attention |
+//! | [`damped`] | Damped score function (Figure 5) | H2O with the score multiplied by a damping factor α |
+//! | [`streaming`] | StreamingLLM attention sinks | first `s` sink tokens + recent window |
+//! | [`keyformer`] | **Keyformer** | recent window + top accumulated Gumbel-softmax score with temperature annealing |
+
+pub mod damped;
+pub mod full;
+pub mod h2o;
+pub mod key_only;
+pub mod keyformer;
+pub mod streaming;
+pub mod window;

@@ -1,0 +1,409 @@
+//! Accuracy experiments: ROUGE / few-shot accuracy of each cache policy on the
+//! synthetic task suites (Figures 3c, 5, 7, 8, 12, 13, 16 and Tables 2, 3, 4).
+
+use crate::report::{fmt, Table};
+use keyformer_core::accumulator::ScoreScope;
+use keyformer_core::adjustment::LogitAdjustment;
+use keyformer_core::budget::CacheBudgetSpec;
+use keyformer_core::spec::PolicySpec;
+use keyformer_core::temperature::TemperatureSchedule;
+use keyformer_model::config::PositionMode;
+use keyformer_model::families::ModelFamily;
+use keyformer_model::model::TransformerModel;
+use keyformer_text::datasets::dialogue::{DialogueDataset, DialogueSpec};
+use keyformer_text::datasets::longdoc::{LongDocDataset, LongDocSpec};
+use keyformer_text::datasets::summarization::{SummarizationDataset, SummarizationSpec};
+use keyformer_text::datasets::Sample;
+use keyformer_text::eval::{evaluate_fewshot, evaluate_generation, EvalSetting};
+use keyformer_text::fewshot::{FewShotTask, TaskKind};
+use keyformer_text::rouge::RougeScores;
+
+/// Weight seed shared by every accuracy experiment.
+pub const MODEL_SEED: u64 = 3;
+
+fn summarization_samples(samples: usize) -> Vec<Sample> {
+    SummarizationDataset::generate(&SummarizationSpec::paper_default(), samples)
+        .samples()
+        .to_vec()
+}
+
+fn dialogue_samples(samples: usize) -> Vec<Sample> {
+    DialogueDataset::generate(&DialogueSpec::paper_default(), samples)
+        .samples()
+        .to_vec()
+}
+
+fn longdoc_samples(samples: usize) -> Vec<Sample> {
+    LongDocDataset::generate(&LongDocSpec::paper_default(), samples)
+        .samples()
+        .to_vec()
+}
+
+fn run(model: &TransformerModel, setting: &EvalSetting, samples: &[Sample]) -> RougeScores {
+    evaluate_generation(model, setting, samples).rouge
+}
+
+fn budget(fraction: f64) -> EvalSetting {
+    EvalSetting {
+        policy: PolicySpec::keyformer_default(),
+        budget: Some(CacheBudgetSpec::with_fraction(fraction).expect("valid fraction")),
+    }
+}
+
+fn setting(policy: PolicySpec, fraction: f64) -> EvalSetting {
+    EvalSetting {
+        policy,
+        budget: Some(CacheBudgetSpec::with_fraction(fraction).expect("valid fraction")),
+    }
+}
+
+/// Figure 3c: Full vs. Key-only vs. Window vs. H2O at 50% cache (ROUGE-2).
+pub fn figure3c(samples: usize) -> Table {
+    let mut table = Table::new(
+        "Figure 3c: accuracy of attention schemes at 50% KV cache (ROUGE-2)",
+        &["model", "full", "key_only", "window", "h2o"],
+    );
+    let data = summarization_samples(samples);
+    for family in ModelFamily::paper_families() {
+        let model = family.build(MODEL_SEED);
+        let full = run(&model, &EvalSetting::full_attention(), &data);
+        let key = run(&model, &setting(PolicySpec::KeyOnly, 0.5), &data);
+        let window = run(&model, &setting(PolicySpec::Window, 0.5), &data);
+        let h2o = run(&model, &setting(PolicySpec::h2o_default(), 0.5), &data);
+        table.push_row(vec![
+            family.label().into(),
+            fmt(full.rouge2.f1),
+            fmt(key.rouge2.f1),
+            fmt(window.rouge2.f1),
+            fmt(h2o.rouge2.f1),
+        ]);
+    }
+    table
+}
+
+/// Figure 5: damping-factor sweep at 50% cache for the Cerebras-like model.
+pub fn figure5(samples: usize) -> Table {
+    let mut table = Table::new(
+        "Figure 5: damping the accumulated-attention score (Cerebras-like, 50% cache)",
+        &["alpha", "rouge1", "rouge2", "rougeL"],
+    );
+    let data = summarization_samples(samples);
+    let model = ModelFamily::CerebrasLike.build(MODEL_SEED);
+    let full = run(&model, &EvalSetting::full_attention(), &data);
+    table.push_row(vec![
+        "full-attention".into(),
+        fmt(full.rouge1.f1),
+        fmt(full.rouge2.f1),
+        fmt(full.rouge_l.f1),
+    ]);
+    for alpha in [1.0f32, 0.975, 0.95, 0.925, 0.9, 0.875] {
+        let scores = run(&model, &setting(PolicySpec::Damped { alpha }, 0.5), &data);
+        table.push_row(vec![
+            format!("{alpha:.3}"),
+            fmt(scores.rouge1.f1),
+            fmt(scores.rouge2.f1),
+            fmt(scores.rouge_l.f1),
+        ]);
+    }
+    table
+}
+
+/// Figures 7 and 13: ROUGE vs. KV-cache budget for every model family on the
+/// summarization and conversation tasks, for Full / Window / H2O / Keyformer.
+pub fn figure7(samples: usize, budgets: &[f64]) -> Table {
+    let mut table = Table::new(
+        "Figures 7/13: ROUGE vs KV cache budget (summarization + conversation)",
+        &[
+            "task", "model", "kv_cache", "policy", "rouge1", "rouge2", "rougeL",
+        ],
+    );
+    let tasks: [(&str, Vec<Sample>); 2] = [
+        ("summarization", summarization_samples(samples)),
+        ("conversation", dialogue_samples(samples)),
+    ];
+    for (task_name, data) in &tasks {
+        for family in ModelFamily::paper_families() {
+            let model = family.build(MODEL_SEED);
+            let full = run(&model, &EvalSetting::full_attention(), data);
+            table.push_row(vec![
+                (*task_name).into(),
+                family.label().into(),
+                "100%".into(),
+                "Full".into(),
+                fmt(full.rouge1.f1),
+                fmt(full.rouge2.f1),
+                fmt(full.rouge_l.f1),
+            ]);
+            for &fraction in budgets {
+                for policy in [
+                    PolicySpec::Window,
+                    PolicySpec::h2o_default(),
+                    PolicySpec::keyformer_default(),
+                ] {
+                    let scores = run(&model, &setting(policy, fraction), data);
+                    table.push_row(vec![
+                        (*task_name).into(),
+                        family.label().into(),
+                        format!("{:.0}%", fraction * 100.0),
+                        policy.label(),
+                        fmt(scores.rouge1.f1),
+                        fmt(scores.rouge2.f1),
+                        fmt(scores.rouge_l.f1),
+                    ]);
+                }
+            }
+        }
+    }
+    table
+}
+
+/// Figure 8: long-document summarization (GovReport-like) with the MPT-storywriter
+/// model, Keyformer vs. H2O at small cache budgets.
+pub fn figure8(samples: usize, budgets: &[f64]) -> Table {
+    let mut table = Table::new(
+        "Figure 8: long-context summarization (MPT-storywriter-like)",
+        &["kv_cache", "policy", "rouge2"],
+    );
+    let data = longdoc_samples(samples);
+    let model = ModelFamily::MptStorywriterLike.build(MODEL_SEED);
+    let full = run(&model, &EvalSetting::full_attention(), &data);
+    table.push_row(vec!["100%".into(), "Full".into(), fmt(full.rouge2.f1)]);
+    for &fraction in budgets {
+        for policy in [PolicySpec::h2o_default(), PolicySpec::keyformer_default()] {
+            let scores = run(&model, &setting(policy, fraction), &data);
+            table.push_row(vec![
+                format!("{:.0}%", fraction * 100.0),
+                policy.label(),
+                fmt(scores.rouge2.f1),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 12 / Appendix A.4: recent-window ratio sweep at 70% cache.
+pub fn figure12(samples: usize) -> Table {
+    let mut table = Table::new(
+        "Figure 12: recent-window ratio sweep at 70% KV cache (ROUGE-2)",
+        &["model", "recent_ratio", "rouge2"],
+    );
+    let data = summarization_samples(samples);
+    for family in ModelFamily::paper_families() {
+        let model = family.build(MODEL_SEED);
+        for ratio in [0.1, 0.2, 0.3, 0.5, 0.7, 0.9] {
+            let eval_setting = EvalSetting {
+                policy: PolicySpec::keyformer_default(),
+                budget: Some(CacheBudgetSpec::new(0.7, ratio).expect("valid spec")),
+            };
+            let scores = run(&model, &eval_setting, &data);
+            table.push_row(vec![
+                family.label().into(),
+                format!("{ratio:.1}"),
+                fmt(scores.rouge2.f1),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 16 / Appendix A.8: temperature sweep (static vs. dynamic τ).
+pub fn figure16(samples: usize) -> Table {
+    let mut table = Table::new(
+        "Figure 16: temperature parameter sweep (MPT-like, 50% cache, ROUGE-2)",
+        &["temperature", "rouge2"],
+    );
+    let data = summarization_samples(samples);
+    let model = ModelFamily::MptLike.build(MODEL_SEED);
+    let dynamic = PolicySpec::Keyformer {
+        adjustment: LogitAdjustment::Gumbel,
+        temperature: TemperatureSchedule::Linear {
+            tau_init: 1.0,
+            tau_end: 2.0,
+        },
+        scope: ScoreScope::PerLayer,
+        seed: 7,
+    };
+    let scores = run(&model, &EvalSetting { policy: dynamic, budget: budget(0.5).budget }, &data);
+    table.push_row(vec!["dynamic (1->2)".into(), fmt(scores.rouge2.f1)]);
+    for tau in [1.0f32, 2.0, 3.0, 5.0, 10.0, 15.0] {
+        let spec = PolicySpec::Keyformer {
+            adjustment: LogitAdjustment::Gumbel,
+            temperature: TemperatureSchedule::Static(tau),
+            scope: ScoreScope::PerLayer,
+            seed: 7,
+        };
+        let scores = run(&model, &EvalSetting { policy: spec, budget: budget(0.5).budget }, &data);
+        table.push_row(vec![format!("static {tau}"), fmt(scores.rouge2.f1)]);
+    }
+    table
+}
+
+/// Table 2: few-shot accuracy on the four synthetic lm-eval-style tasks at 50% cache.
+pub fn table2(items: usize) -> Table {
+    let mut table = Table::new(
+        "Table 2: few-shot accuracy (Full / H2O / Keyformer at 50% KV cache)",
+        &["task", "model", "policy", "0-shot", "5-shot"],
+    );
+    for kind in TaskKind::all() {
+        let task = FewShotTask::generate(kind, items, 11);
+        for family in [ModelFamily::CerebrasLike, ModelFamily::MptLike] {
+            let model = family.build(MODEL_SEED);
+            for (label, eval_setting) in [
+                ("Full", EvalSetting::full_attention()),
+                ("H2O", setting(PolicySpec::h2o_default(), 0.5)),
+                ("Keyformer", setting(PolicySpec::keyformer_default(), 0.5)),
+            ] {
+                let zero = evaluate_fewshot(&model, &eval_setting, &task, 0);
+                let five = evaluate_fewshot(&model, &eval_setting, &task, 5);
+                table.push_row(vec![
+                    kind.label().into(),
+                    family.label().into(),
+                    label.into(),
+                    fmt(zero.accuracy),
+                    fmt(five.accuracy),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// Table 3: ablation of score-function scope, positional handling and the
+/// StreamingLLM baseline at 60% cache on the MPT-like model.
+pub fn table3(samples: usize) -> Table {
+    let mut table = Table::new(
+        "Table 3: score-function and positional ablations (MPT-like, 60% cache)",
+        &["method", "score_fn", "kv_cache", "rouge1", "rouge2", "rougeL"],
+    );
+    let data = summarization_samples(samples);
+    let model = ModelFamily::MptLike.build(MODEL_SEED);
+    let remapped_model = TransformerModel::new(
+        ModelFamily::MptLike
+            .config(MODEL_SEED)
+            .with_position_mode(PositionMode::Remapped),
+    )
+    .expect("valid config");
+
+    let mut push = |name: &str, score_fn: &str, cache: &str, scores: RougeScores| {
+        table.push_row(vec![
+            name.into(),
+            score_fn.into(),
+            cache.into(),
+            fmt(scores.rouge1.f1),
+            fmt(scores.rouge2.f1),
+            fmt(scores.rouge_l.f1),
+        ]);
+    };
+
+    push(
+        "Full",
+        "-",
+        "100%",
+        run(&model, &EvalSetting::full_attention(), &data),
+    );
+    push(
+        "Window",
+        "-",
+        "60%",
+        run(&model, &setting(PolicySpec::Window, 0.6), &data),
+    );
+    push(
+        "H2O",
+        "per-layer",
+        "60%",
+        run(&model, &setting(PolicySpec::h2o_default(), 0.6), &data),
+    );
+    push(
+        "StreamingLLM",
+        "-",
+        "60%",
+        run(&model, &setting(PolicySpec::streaming_default(), 0.6), &data),
+    );
+    push(
+        "Keyformer (new pos)",
+        "per-layer",
+        "60%",
+        run(
+            &remapped_model,
+            &setting(PolicySpec::keyformer_default(), 0.6),
+            &data,
+        ),
+    );
+    push(
+        "Keyformer (org pos)",
+        "per-layer",
+        "60%",
+        run(&model, &setting(PolicySpec::keyformer_default(), 0.6), &data),
+    );
+    let shared = PolicySpec::Keyformer {
+        adjustment: LogitAdjustment::Gumbel,
+        temperature: TemperatureSchedule::default(),
+        scope: ScoreScope::Shared,
+        seed: 7,
+    };
+    push(
+        "Keyformer (org pos, shared)",
+        "shared",
+        "60%",
+        run(&model, &setting(shared, 0.6), &data),
+    );
+    table
+}
+
+/// Table 4: logit-adjustment ablation (Gumbel / Gaussian / Constant / None) at 60%
+/// cache across the three model families.
+pub fn table4(samples: usize) -> Table {
+    let mut table = Table::new(
+        "Table 4: logit adjustment ablation at 60% KV cache (ROUGE-2)",
+        &["model", "gumbel", "gaussian", "constant", "none"],
+    );
+    let data = summarization_samples(samples);
+    let adjustments = [
+        LogitAdjustment::Gumbel,
+        LogitAdjustment::paper_gaussian(),
+        LogitAdjustment::paper_constant(),
+        LogitAdjustment::None,
+    ];
+    for family in ModelFamily::paper_families() {
+        let model = family.build(MODEL_SEED);
+        let mut row = vec![family.label().to_string()];
+        for adjustment in adjustments {
+            let spec = PolicySpec::Keyformer {
+                adjustment,
+                temperature: TemperatureSchedule::default(),
+                scope: ScoreScope::PerLayer,
+                seed: 7,
+            };
+            let scores = run(&model, &setting(spec, 0.6), &data);
+            row.push(fmt(scores.rouge2.f1));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3c_has_one_row_per_family() {
+        let t = figure3c(1);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.columns.len(), 5);
+    }
+
+    #[test]
+    fn figure7_covers_all_cells() {
+        let t = figure7(1, &[0.5]);
+        // 2 tasks x 3 families x (1 full + 1 budget x 3 policies) rows.
+        assert_eq!(t.rows.len(), 2 * 3 * 4);
+    }
+
+    #[test]
+    fn table4_reports_all_adjustments() {
+        let t = table4(1);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.columns.len(), 5);
+    }
+}

@@ -1,0 +1,62 @@
+//! `kf-experiments` — regenerate the Keyformer paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! kf-experiments [--samples N] [--csv] [experiment ...]
+//! kf-experiments --list
+//! ```
+//!
+//! With no experiment names, every experiment runs (this takes a few minutes for the
+//! accuracy sweeps). Experiment names follow the paper: `fig1`, `fig3a` … `fig16`,
+//! `table1` … `table4`.
+
+use keyformer_harness::{run_experiment, ExperimentId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut samples = 3usize;
+    let mut csv = false;
+    let mut requested: Vec<ExperimentId> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" => {
+                for id in ExperimentId::all() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--csv" => csv = true,
+            "--samples" => {
+                samples = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--samples requires a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            name => match ExperimentId::parse(name) {
+                Some(id) => requested.push(id),
+                None => {
+                    eprintln!("unknown experiment '{name}'; use --list to see options");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    if requested.is_empty() {
+        requested = ExperimentId::all();
+    }
+    for id in requested {
+        eprintln!("running {id} (samples = {samples}) ...");
+        let table = run_experiment(id, samples);
+        if csv {
+            println!("# {}", table.title);
+            println!("{}", table.render_csv());
+        } else {
+            println!("{}", table.render_text());
+        }
+    }
+}

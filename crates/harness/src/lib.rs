@@ -1,0 +1,22 @@
+//! # keyformer-harness
+//!
+//! Experiment definitions that regenerate every table and figure of the Keyformer
+//! paper's evaluation (see DESIGN.md for the full index). Each experiment returns a
+//! [`report::Table`] holding the same rows/series the paper reports; the
+//! `kf-experiments` binary renders them as text and (optionally) CSV.
+//!
+//! Accuracy experiments run the laptop-scale substrate models on the synthetic task
+//! generators; performance experiments use the analytic A100 roofline model. Both are
+//! deterministic given their seeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod analysis;
+pub mod perf;
+pub mod report;
+pub mod registry;
+
+pub use registry::{run_experiment, ExperimentId};
+pub use report::Table;

@@ -1,0 +1,189 @@
+//! Performance experiments on the analytic accelerator model (Figures 1, 9, 10 and
+//! Table 1).
+
+use crate::report::{fmt, Table};
+use keyformer_perf::{CachePolicyCost, PerfModel, Workload};
+
+/// Figure 1: normalized inference latency and KV-cache size vs. sequence length for
+/// MPT-7B (50% context + 50% generation, batch 1, beam 4).
+pub fn figure1() -> Table {
+    let mut table = Table::new(
+        "Figure 1: latency and memory vs sequence length (MPT-7B, A100-80GB)",
+        &[
+            "seq_len",
+            "norm_latency",
+            "kv_movement_share",
+            "kv_cache_gb",
+            "model_gb",
+        ],
+    );
+    let model = PerfModel::paper_default();
+    let policy = CachePolicyCost::full_attention();
+    let base = model
+        .estimate(&Workload::figure1(512), &policy)
+        .total_latency_s();
+    for seq in [512usize, 2048, 8192] {
+        let workload = Workload::figure1(seq);
+        let est = model.estimate(&workload, &policy);
+        let kv_share = est.generation.kv_cache_data_movement_s / est.total_latency_s();
+        let kv_gb = model.model.kv_cache_bytes(seq, 1, 4) as f64 / 1e9;
+        let weight_gb = model.model.weight_bytes() as f64 / 1e9;
+        table.push_row(vec![
+            seq.to_string(),
+            fmt(est.total_latency_s() / base),
+            fmt(kv_share),
+            fmt(kv_gb),
+            fmt(weight_gb),
+        ]);
+    }
+    table
+}
+
+/// Figure 9: iso-accuracy speedup for 1k/2k/4k (+ equal generation) workloads:
+/// Full attention vs. H2O at 90% cache vs. Keyformer at 50% cache.
+pub fn figure9() -> Table {
+    let mut table = Table::new(
+        "Figure 9: inference speedup at iso-accuracy (MPT-7B, beam 4)",
+        &["workload", "full", "h2o_90pct", "keyformer_50pct"],
+    );
+    let model = PerfModel::paper_default();
+    for len in [1024usize, 2048, 4096] {
+        let workload = Workload::symmetric(len).with_beam_size(4);
+        let full = model
+            .estimate(&workload, &CachePolicyCost::full_attention())
+            .total_latency_s();
+        let h2o = model
+            .estimate(&workload, &CachePolicyCost::h2o(0.9))
+            .total_latency_s();
+        let keyformer = model
+            .estimate(&workload, &CachePolicyCost::keyformer(0.5))
+            .total_latency_s();
+        table.push_row(vec![
+            format!("{len}+{len}"),
+            fmt(1.0),
+            fmt(full / h2o),
+            fmt(full / keyformer),
+        ]);
+    }
+    table
+}
+
+/// Figure 10: normalized KV-cache data movement and scaled-dot-product time for
+/// Keyformer at 50% cache, including the Gumbel-softmax scoring overhead.
+pub fn figure10() -> Table {
+    let mut table = Table::new(
+        "Figure 10: KV data movement and scaled dot product, Keyformer 50% cache",
+        &[
+            "seq_len",
+            "kv_movement_full",
+            "kv_movement_keyformer",
+            "sdp_full",
+            "sdp_keyformer",
+            "gumbel_overhead",
+        ],
+    );
+    let model = PerfModel::paper_default();
+    for len in [512usize, 1024, 2048, 4096] {
+        let workload = Workload::symmetric(len).with_beam_size(4);
+        let full = model.estimate(&workload, &CachePolicyCost::full_attention());
+        let kf = model.estimate(&workload, &CachePolicyCost::keyformer(0.5));
+        let norm = full.generation.kv_cache_data_movement_s.max(1e-12);
+        let sdp_norm = full.generation.scaled_dot_product_s.max(1e-12);
+        table.push_row(vec![
+            len.to_string(),
+            fmt(1.0),
+            fmt(kf.generation.kv_cache_data_movement_s / norm),
+            fmt(1.0),
+            fmt(kf.generation.scaled_dot_product_s / sdp_norm),
+            fmt(kf.generation.scoring_overhead_s / norm),
+        ]);
+    }
+    table
+}
+
+/// Table 1: generation throughput (tokens/s) for MPT-7B across sequence lengths,
+/// including the out-of-memory row and the larger batch Keyformer enables.
+pub fn table1() -> Table {
+    let mut table = Table::new(
+        "Table 1: generation throughput (tokens/s), MPT-7B on A100-80GB",
+        &["workload", "full", "h2o_90pct", "keyformer_50pct"],
+    );
+    let model = PerfModel::paper_default();
+    let policies = [
+        CachePolicyCost::full_attention(),
+        CachePolicyCost::h2o(0.9),
+        CachePolicyCost::keyformer(0.5),
+    ];
+    let mut row = |label: String, workload: Workload| {
+        let mut cells = vec![label];
+        for policy in &policies {
+            let est = model.estimate(&workload, policy);
+            cells.push(if est.fits_in_memory {
+                format!("{:.1}", est.tokens_per_second)
+            } else {
+                "OOM".into()
+            });
+        }
+        table.push_row(cells);
+    };
+    for len in [1024usize, 2048] {
+        row(format!("{len}+{len}"), Workload::symmetric(len).with_beam_size(4));
+    }
+    row(
+        "4096+4096 (BS=1)".into(),
+        Workload::symmetric(4096).with_beam_size(4),
+    );
+    row(
+        "4096+4096 (BS=8)".into(),
+        Workload::symmetric(4096).with_beam_size(4).with_batch_size(8),
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_latency_grows_with_sequence_length() {
+        let t = figure1();
+        assert_eq!(t.rows.len(), 3);
+        let l512: f64 = t.cell(0, "norm_latency").unwrap().parse().unwrap();
+        let l8k: f64 = t.cell(2, "norm_latency").unwrap().parse().unwrap();
+        assert!((l512 - 1.0).abs() < 1e-6);
+        assert!(l8k > 20.0, "8k latency should be >20x the 512 latency, got {l8k}");
+    }
+
+    #[test]
+    fn figure9_keyformer_wins_and_speedup_grows_with_length() {
+        let t = figure9();
+        let kf_1k: f64 = t.cell(0, "keyformer_50pct").unwrap().parse().unwrap();
+        let kf_4k: f64 = t.cell(2, "keyformer_50pct").unwrap().parse().unwrap();
+        let h2o_4k: f64 = t.cell(2, "h2o_90pct").unwrap().parse().unwrap();
+        assert!(kf_4k > kf_1k);
+        assert!(kf_4k > h2o_4k);
+        assert!(kf_4k > 1.3);
+    }
+
+    #[test]
+    fn figure10_keyformer_moves_less_data() {
+        let t = figure10();
+        for r in 0..t.rows.len() {
+            let kv: f64 = t.cell(r, "kv_movement_keyformer").unwrap().parse().unwrap();
+            let sdp: f64 = t.cell(r, "sdp_keyformer").unwrap().parse().unwrap();
+            assert!(kv < 1.0);
+            assert!(sdp < 1.0);
+        }
+    }
+
+    #[test]
+    fn table1_shows_oom_for_full_attention_at_large_batch() {
+        let t = table1();
+        assert_eq!(t.cell(3, "full"), Some("OOM"));
+        // Keyformer throughput at the same batch/seq must beat full attention where
+        // both fit.
+        let full: f64 = t.cell(2, "full").unwrap().parse().unwrap();
+        let kf: f64 = t.cell(2, "keyformer_50pct").unwrap().parse().unwrap();
+        assert!(kf > full);
+    }
+}

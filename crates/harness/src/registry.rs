@@ -1,0 +1,170 @@
+//! Experiment registry: maps experiment identifiers to the functions that
+//! regenerate them.
+
+use crate::report::Table;
+use crate::{accuracy, analysis, perf};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one paper table or figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExperimentId {
+    /// Figure 1: latency / memory vs. sequence length.
+    Fig1,
+    /// Figure 3a: attention sparsity per layer.
+    Fig3a,
+    /// Figure 3b: attention-mass CDF.
+    Fig3b,
+    /// Figure 3c: attention schemes at 50% cache.
+    Fig3c,
+    /// Figure 4: softmax shift after eviction.
+    Fig4,
+    /// Figure 5: damping-factor sweep.
+    Fig5,
+    /// Figures 7/13: ROUGE vs. cache budget.
+    Fig7,
+    /// Figure 8: long-context summarization.
+    Fig8,
+    /// Figure 9: iso-accuracy speedup.
+    Fig9,
+    /// Figure 10: data movement / scaled-dot-product breakdown.
+    Fig10,
+    /// Figure 11: sparsity vs. threshold.
+    Fig11,
+    /// Figure 12: recent-ratio sweep.
+    Fig12,
+    /// Figures 14/15: heat-map summary.
+    Fig14,
+    /// Figure 16: temperature sweep.
+    Fig16,
+    /// Table 1: generation throughput.
+    Table1,
+    /// Table 2: few-shot accuracy.
+    Table2,
+    /// Table 3: score-function / positional ablation.
+    Table3,
+    /// Table 4: logit-adjustment ablation.
+    Table4,
+}
+
+impl ExperimentId {
+    /// Every experiment, in paper order.
+    pub fn all() -> Vec<ExperimentId> {
+        use ExperimentId::*;
+        vec![
+            Fig1, Fig3a, Fig3b, Fig3c, Fig4, Fig5, Fig7, Fig8, Fig9, Fig10, Fig11, Fig12, Fig14,
+            Fig16, Table1, Table2, Table3, Table4,
+        ]
+    }
+
+    /// Parses a command-line name such as `fig7` or `table3`.
+    pub fn parse(name: &str) -> Option<ExperimentId> {
+        use ExperimentId::*;
+        Some(match name.to_ascii_lowercase().as_str() {
+            "fig1" => Fig1,
+            "fig3a" => Fig3a,
+            "fig3b" => Fig3b,
+            "fig3c" => Fig3c,
+            "fig4" => Fig4,
+            "fig5" => Fig5,
+            "fig7" | "fig13" => Fig7,
+            "fig8" => Fig8,
+            "fig9" => Fig9,
+            "fig10" => Fig10,
+            "fig11" => Fig11,
+            "fig12" => Fig12,
+            "fig14" | "fig15" => Fig14,
+            "fig16" => Fig16,
+            "table1" => Table1,
+            "table2" => Table2,
+            "table3" => Table3,
+            "table4" => Table4,
+            _ => return None,
+        })
+    }
+
+    /// Command-line name of this experiment.
+    pub fn name(&self) -> &'static str {
+        use ExperimentId::*;
+        match self {
+            Fig1 => "fig1",
+            Fig3a => "fig3a",
+            Fig3b => "fig3b",
+            Fig3c => "fig3c",
+            Fig4 => "fig4",
+            Fig5 => "fig5",
+            Fig7 => "fig7",
+            Fig8 => "fig8",
+            Fig9 => "fig9",
+            Fig10 => "fig10",
+            Fig11 => "fig11",
+            Fig12 => "fig12",
+            Fig14 => "fig14",
+            Fig16 => "fig16",
+            Table1 => "table1",
+            Table2 => "table2",
+            Table3 => "table3",
+            Table4 => "table4",
+        }
+    }
+}
+
+impl std::fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Runs one experiment. `samples` scales how many synthetic samples the accuracy
+/// experiments use (performance experiments ignore it).
+pub fn run_experiment(id: ExperimentId, samples: usize) -> Table {
+    let budgets = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    let small_budgets = [0.1, 0.2, 0.3, 0.4, 0.5];
+    match id {
+        ExperimentId::Fig1 => perf::figure1(),
+        ExperimentId::Fig3a => analysis::figure3a(samples),
+        ExperimentId::Fig3b => analysis::figure3b(samples),
+        ExperimentId::Fig3c => accuracy::figure3c(samples),
+        ExperimentId::Fig4 => analysis::figure4(),
+        ExperimentId::Fig5 => accuracy::figure5(samples),
+        ExperimentId::Fig7 => accuracy::figure7(samples, &budgets),
+        ExperimentId::Fig8 => accuracy::figure8(samples, &small_budgets),
+        ExperimentId::Fig9 => perf::figure9(),
+        ExperimentId::Fig10 => perf::figure10(),
+        ExperimentId::Fig11 => analysis::figure11(samples),
+        ExperimentId::Fig12 => accuracy::figure12(samples),
+        ExperimentId::Fig14 => analysis::figure14(samples),
+        ExperimentId::Fig16 => accuracy::figure16(samples),
+        ExperimentId::Table1 => perf::table1(),
+        ExperimentId::Table2 => accuracy::table2(samples.max(4)),
+        ExperimentId::Table3 => accuracy::table3(samples),
+        ExperimentId::Table4 => accuracy::table4(samples),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_name() {
+        for id in ExperimentId::all() {
+            assert_eq!(ExperimentId::parse(id.name()), Some(id), "{id}");
+        }
+        assert_eq!(ExperimentId::parse("FIG7"), Some(ExperimentId::Fig7));
+        assert_eq!(ExperimentId::parse("fig13"), Some(ExperimentId::Fig7));
+        assert_eq!(ExperimentId::parse("bogus"), None);
+    }
+
+    #[test]
+    fn all_lists_every_paper_artifact() {
+        assert_eq!(ExperimentId::all().len(), 18);
+    }
+
+    #[test]
+    fn perf_experiments_run_instantly() {
+        for id in [ExperimentId::Fig1, ExperimentId::Fig9, ExperimentId::Fig10, ExperimentId::Table1] {
+            let table = run_experiment(id, 1);
+            assert!(!table.rows.is_empty(), "{id} produced no rows");
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! The inference engine: couples a model, a KV-cache policy and a cache budget.
+//!
+//! The engine reproduces the paper's two-phase inference procedure:
+//!
+//! 1. **Prompt processing** — every prompt token is pushed through the decoder,
+//!    filling the KV cache and accumulating the policy's score function. At the end
+//!    of the phase the cache is reduced to the budget derived from the prompt length
+//!    (`capacity = cache_fraction × prompt_len`).
+//! 2. **Token generation** — each generated token attends over the reduced cache,
+//!    one new slot is appended per step and one slot is evicted, keeping the cache at
+//!    a constant size.
+
+use crate::config::ModelConfig;
+use crate::generation::{GenerationConfig, GenerationOutput, SamplingStrategy};
+use crate::model::{ForwardContext, TransformerModel};
+use crate::stats::AttentionStats;
+use keyformer_core::budget::{CacheBudget, CacheBudgetSpec};
+use keyformer_core::cache::KvCache;
+use keyformer_core::observation::Phase;
+use keyformer_core::policy::KvCachePolicy;
+use keyformer_core::CoreError;
+use keyformer_tensor::ops::{log_softmax, softmax_with_temperature};
+use keyformer_tensor::top_k_indices;
+use keyformer_tensor::vector::argmax;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An inference session over one model with one eviction policy.
+///
+/// The engine owns the KV cache, the policy and the token history; the model is
+/// borrowed immutably so many engines can share it (e.g. the harness sweeping
+/// policies in parallel).
+pub struct InferenceEngine<'m> {
+    model: &'m TransformerModel,
+    policy: Box<dyn KvCachePolicy>,
+    budget_spec: Option<CacheBudgetSpec>,
+    budget: Option<CacheBudget>,
+    cache: KvCache,
+    sequence: Vec<u32>,
+    stats: Option<AttentionStats>,
+    peak_cache_bytes: usize,
+}
+
+impl<'m> InferenceEngine<'m> {
+    /// Creates an engine. With `budget_spec = None` the cache is never reduced
+    /// regardless of the policy (useful for the full-attention baseline).
+    pub fn new(
+        model: &'m TransformerModel,
+        policy: Box<dyn KvCachePolicy>,
+        budget_spec: Option<CacheBudgetSpec>,
+    ) -> Self {
+        InferenceEngine {
+            cache: model.empty_cache(),
+            model,
+            policy,
+            budget_spec,
+            budget: None,
+            sequence: Vec::new(),
+            stats: None,
+            peak_cache_bytes: 0,
+        }
+    }
+
+    /// Enables attention-statistics collection (sparsity, CDFs, heat maps).
+    pub fn enable_stats(&mut self) {
+        let c = self.model.config();
+        self.stats = Some(AttentionStats::new(c.num_layers, c.num_heads));
+    }
+
+    /// Collected statistics, if enabled.
+    pub fn stats(&self) -> Option<&AttentionStats> {
+        self.stats.as_ref()
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        self.model.config()
+    }
+
+    /// The absolute budget derived from the last processed prompt, if any.
+    pub fn budget(&self) -> Option<CacheBudget> {
+        self.budget
+    }
+
+    /// The live KV cache (read-only), exposing per-layer retained slots and their
+    /// original positions for diagnostics and experiments.
+    pub fn cache(&self) -> &KvCache {
+        &self.cache
+    }
+
+    /// Live KV-cache slot count per layer.
+    pub fn cache_slots(&self) -> Vec<usize> {
+        self.cache.iter().map(|l| l.len()).collect()
+    }
+
+    /// Current KV-cache byte footprint.
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.byte_size()
+    }
+
+    /// Peak KV-cache byte footprint observed so far.
+    pub fn peak_cache_bytes(&self) -> usize {
+        self.peak_cache_bytes
+    }
+
+    /// Full token history (prompt + generated) of the current session.
+    pub fn sequence(&self) -> &[u32] {
+        &self.sequence
+    }
+
+    /// Clears all per-sequence state, making the engine reusable for a new request.
+    pub fn reset(&mut self) {
+        self.cache.clear();
+        self.policy.reset();
+        self.sequence.clear();
+        self.budget = None;
+        self.peak_cache_bytes = 0;
+        if let Some(stats) = &mut self.stats {
+            stats.clear();
+        }
+    }
+
+    fn forward(
+        &mut self,
+        token: u32,
+        position: usize,
+        phase: Phase,
+        step: usize,
+        total_steps: usize,
+    ) -> Result<Vec<f32>, CoreError> {
+        self.sequence.push(token);
+        let mut ctx = ForwardContext {
+            cache: &mut self.cache,
+            policy: self.policy.as_mut(),
+            stats: self.stats.as_mut(),
+            sequence: &self.sequence,
+            phase,
+            step,
+            total_steps,
+        };
+        let logits = self.model.forward_token(token, position, &mut ctx)?;
+        self.peak_cache_bytes = self.peak_cache_bytes.max(self.cache.byte_size());
+        Ok(logits)
+    }
+
+    fn evict_to_budget(&mut self) -> Result<(), CoreError> {
+        let Some(budget) = self.budget else {
+            return Ok(());
+        };
+        for layer in 0..self.cache.num_layers() {
+            let live = self.cache.layer(layer).len();
+            if !budget.needs_eviction(live) {
+                continue;
+            }
+            let retained = self.policy.select_retained(layer, live, &budget);
+            keyformer_core::cache::validate_selection(&retained, live)?;
+            self.cache.layer_mut(layer).retain_slots(&retained)?;
+            self.policy.compact(layer, &retained);
+        }
+        Ok(())
+    }
+
+    /// Processes a prompt: fills the KV cache, derives the absolute budget from the
+    /// prompt length, reduces the cache to that budget and returns the logits of the
+    /// final prompt token (the distribution over the first generated token).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the prompt is empty or a shape error
+    /// occurs, and propagates policy-contract violations.
+    pub fn process_prompt(
+        &mut self,
+        prompt: &[u32],
+        total_generation_steps: usize,
+    ) -> Result<Vec<f32>, CoreError> {
+        if prompt.is_empty() {
+            return Err(CoreError::InvalidConfig("prompt must be non-empty".into()));
+        }
+        self.reset();
+        self.budget = self
+            .budget_spec
+            .map(|spec| spec.for_prompt_len(prompt.len()));
+        let mut logits = Vec::new();
+        for (pos, &tok) in prompt.iter().enumerate() {
+            logits = self.forward(tok, pos, Phase::Prompt, pos, total_generation_steps)?;
+        }
+        // The paper reduces the cache once at the end of the prompt phase.
+        self.evict_to_budget()?;
+        Ok(logits)
+    }
+
+    fn pick_token(logits: &[f32], config: &GenerationConfig, rng: &mut StdRng) -> u32 {
+        match config.sampling {
+            SamplingStrategy::Greedy => argmax(logits).unwrap_or(0) as u32,
+            SamplingStrategy::TopK { k, temperature } => {
+                let candidates = top_k_indices(logits, k.max(1));
+                let candidate_logits: Vec<f32> =
+                    candidates.iter().map(|&i| logits[i]).collect();
+                let probs = softmax_with_temperature(&candidate_logits, temperature.max(1e-3));
+                let draw: f32 = rng.gen_range(0.0..1.0);
+                let mut acc = 0.0;
+                for (i, &p) in probs.iter().enumerate() {
+                    acc += p;
+                    if draw <= acc {
+                        return candidates[i] as u32;
+                    }
+                }
+                *candidates.last().unwrap_or(&0) as u32
+            }
+        }
+    }
+
+    /// Runs the full two-phase inference: prompt processing followed by
+    /// autoregressive generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty (programming error in the caller); use
+    /// [`InferenceEngine::process_prompt`] directly for fallible prompt handling.
+    pub fn generate(&mut self, prompt: &[u32], config: &GenerationConfig) -> GenerationOutput {
+        let mut logits = self
+            .process_prompt(prompt, config.max_new_tokens)
+            .expect("prompt processing failed");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut generated = Vec::with_capacity(config.max_new_tokens);
+        // Tokens the repetition penalty applies to: everything generated in this
+        // request plus the final prompt token (the task cue, which a summary should
+        // not parrot back).
+        let mut penalised: Vec<u32> = prompt.last().copied().into_iter().collect();
+        for step in 0..config.max_new_tokens {
+            if config.repetition_penalty > 0.0 {
+                for &tok in &penalised {
+                    if let Some(l) = logits.get_mut(tok as usize) {
+                        *l -= config.repetition_penalty;
+                    }
+                }
+            }
+            let next = Self::pick_token(&logits, config, &mut rng);
+            generated.push(next);
+            penalised.push(next);
+            if Some(next) == config.eos_token {
+                break;
+            }
+            if step + 1 == config.max_new_tokens {
+                break;
+            }
+            let position = prompt.len() + step;
+            logits = self
+                .forward(next, position, Phase::Generation, step, config.max_new_tokens)
+                .expect("generation forward failed");
+            self.evict_to_budget().expect("eviction failed");
+        }
+        GenerationOutput {
+            generated,
+            prompt_len: prompt.len(),
+            final_cache_slots: self.cache_slots(),
+            final_cache_bytes: self.cache_bytes(),
+            peak_cache_bytes: self.peak_cache_bytes,
+        }
+    }
+
+    /// Scores a continuation under the model: returns the total and per-token mean
+    /// log-likelihood of `continuation` given `prompt`, processing the prompt with
+    /// the engine's cache policy. Used by the few-shot evaluation (Table 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if prompt or continuation is empty.
+    pub fn score_continuation(
+        &mut self,
+        prompt: &[u32],
+        continuation: &[u32],
+    ) -> Result<ContinuationScore, CoreError> {
+        if continuation.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "continuation must be non-empty".into(),
+            ));
+        }
+        let mut logits = self.process_prompt(prompt, continuation.len())?;
+        let mut total_log_prob = 0.0f64;
+        for (step, &tok) in continuation.iter().enumerate() {
+            let log_probs = log_softmax(&logits);
+            total_log_prob += f64::from(log_probs[tok as usize]);
+            if step + 1 == continuation.len() {
+                break;
+            }
+            let position = prompt.len() + step;
+            logits = self.forward(tok, position, Phase::Generation, step, continuation.len())?;
+            self.evict_to_budget()?;
+        }
+        Ok(ContinuationScore {
+            total_log_prob,
+            tokens: continuation.len(),
+        })
+    }
+}
+
+/// Log-likelihood of a continuation, as returned by
+/// [`InferenceEngine::score_continuation`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContinuationScore {
+    /// Sum of per-token log-probabilities (natural log).
+    pub total_log_prob: f64,
+    /// Number of continuation tokens scored.
+    pub tokens: usize,
+}
+
+impl ContinuationScore {
+    /// Length-normalised log-likelihood (mean per token).
+    pub fn per_token(&self) -> f64 {
+        if self.tokens == 0 {
+            0.0
+        } else {
+            self.total_log_prob / self.tokens as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::ModelFamily;
+    use keyformer_core::spec::PolicySpec;
+
+    fn prompt(len: usize) -> Vec<u32> {
+        (0..len).map(|i| ((i * 13 + 5) % 120) as u32).collect()
+    }
+
+    #[test]
+    fn full_attention_cache_grows_with_sequence() {
+        let model = ModelFamily::Tiny.build(1);
+        let mut engine = InferenceEngine::new(&model, PolicySpec::Full.build().unwrap(), None);
+        let out = engine.generate(&prompt(20), &GenerationConfig::new(5));
+        assert_eq!(out.generated.len(), 5);
+        // 20 prompt tokens + 4 generated tokens are cached (the final generated token
+        // is never fed back).
+        assert!(out.final_cache_slots.iter().all(|&n| n == 24));
+    }
+
+    #[test]
+    fn budgeted_policy_caps_cache_size() {
+        let model = ModelFamily::Tiny.build(1);
+        let spec = CacheBudgetSpec::new(0.5, 0.3).unwrap();
+        let mut engine = InferenceEngine::new(
+            &model,
+            PolicySpec::keyformer_default().build().unwrap(),
+            Some(spec),
+        );
+        let out = engine.generate(&prompt(40), &GenerationConfig::new(6));
+        let budget = engine.budget().unwrap();
+        assert_eq!(budget.capacity(), 20);
+        assert!(out
+            .final_cache_slots
+            .iter()
+            .all(|&n| n <= budget.capacity()),
+            "cache exceeded budget: {:?}",
+            out.final_cache_slots
+        );
+        assert!(out.final_cache_bytes < out.peak_cache_bytes);
+    }
+
+    #[test]
+    fn greedy_generation_is_deterministic() {
+        let model = ModelFamily::Tiny.build(2);
+        let run = || {
+            let mut engine = InferenceEngine::new(
+                &model,
+                PolicySpec::keyformer_default().build().unwrap(),
+                Some(CacheBudgetSpec::new(0.6, 0.3).unwrap()),
+            );
+            engine.generate(&prompt(30), &GenerationConfig::new(8)).generated
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn eos_stops_generation_early() {
+        let model = ModelFamily::Tiny.build(3);
+        let mut engine = InferenceEngine::new(&model, PolicySpec::Full.build().unwrap(), None);
+        // Force EOS to whatever greedy picks first, so generation stops after 1 token.
+        let first = engine
+            .generate(&prompt(10), &GenerationConfig::new(1))
+            .generated[0];
+        engine.reset();
+        let out = engine.generate(&prompt(10), &GenerationConfig::new(10).with_eos(first));
+        assert_eq!(out.generated.len(), 1);
+    }
+
+    #[test]
+    fn top_k_sampling_is_seed_deterministic_and_varies_with_seed() {
+        let model = ModelFamily::Tiny.build(4);
+        let gen = |seed: u64| {
+            let mut engine = InferenceEngine::new(&model, PolicySpec::Full.build().unwrap(), None);
+            engine
+                .generate(&prompt(16), &GenerationConfig::new(12).with_top_k(20, 10.0, seed))
+                .generated
+        };
+        assert_eq!(gen(5), gen(5));
+        assert_ne!(gen(5), gen(6));
+    }
+
+    #[test]
+    fn empty_prompt_is_rejected() {
+        let model = ModelFamily::Tiny.build(1);
+        let mut engine = InferenceEngine::new(&model, PolicySpec::Full.build().unwrap(), None);
+        assert!(engine.process_prompt(&[], 4).is_err());
+        assert!(engine.score_continuation(&prompt(4), &[]).is_err());
+    }
+
+    #[test]
+    fn score_continuation_prefers_induction_consistent_text() {
+        let model = ModelFamily::Tiny.build(7);
+        let mut engine = InferenceEngine::new(&model, PolicySpec::Full.build().unwrap(), None);
+        // Prompt contains the bigram (40, 41) twice; a continuation that repeats it
+        // should outscore one that pairs 40 with an unrelated token.
+        let p = vec![7u32, 40, 41, 9, 3, 40, 41, 12, 40];
+        let good = engine.score_continuation(&p, &[41, 9]).unwrap();
+        engine.reset();
+        let bad = engine.score_continuation(&p, &[77, 78]).unwrap();
+        assert!(good.per_token() > bad.per_token());
+        assert_eq!(good.tokens, 2);
+    }
+
+    #[test]
+    fn stats_collection_is_opt_in() {
+        let model = ModelFamily::Tiny.build(1);
+        let mut engine = InferenceEngine::new(&model, PolicySpec::Full.build().unwrap(), None);
+        engine.generate(&prompt(8), &GenerationConfig::new(2));
+        assert!(engine.stats().is_none());
+        engine.enable_stats();
+        engine.generate(&prompt(8), &GenerationConfig::new(2));
+        assert!(engine.stats().unwrap().len() > 0);
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let model = ModelFamily::Tiny.build(1);
+        let mut engine = InferenceEngine::new(
+            &model,
+            PolicySpec::h2o_default().build().unwrap(),
+            Some(CacheBudgetSpec::new(0.5, 0.3).unwrap()),
+        );
+        let a = engine.generate(&prompt(24), &GenerationConfig::new(4)).generated;
+        let b = engine.generate(&prompt(24), &GenerationConfig::new(4)).generated;
+        assert_eq!(a, b, "engine state must not leak across requests");
+    }
+}

@@ -1,0 +1,58 @@
+//! # keyformer-model
+//!
+//! A from-scratch decoder-only transformer substrate that exercises the KV-cache
+//! policies in [`keyformer_core`] on a genuine attention code path.
+//!
+//! The paper evaluates three model families that differ in their positional encoding:
+//! GPT-J (RoPE), Cerebras-GPT (learned position embeddings) and MPT (ALiBi). The
+//! substrate reproduces those three variants at laptop scale via
+//! [`families::ModelFamily`]. Model weights are deterministic functions of a seed and
+//! are structured (near-identity attention projections over near-orthogonal token
+//! embeddings) so that attention behaves associatively: queries attend to cached
+//! tokens with related embeddings. An explicit induction-style copy head
+//! ([`config::ModelConfig::copy_strength`]) turns retained attention into next-token
+//! evidence, which is what makes generation quality depend on *which tokens survive
+//! in the KV cache* — the property every experiment in the paper measures.
+//!
+//! The main entry point is [`engine::InferenceEngine`], which couples a
+//! [`model::TransformerModel`] with any [`keyformer_core::policy::KvCachePolicy`] and
+//! a [`keyformer_core::budget::CacheBudgetSpec`], and exposes prompt processing,
+//! greedy generation and continuation scoring.
+//!
+//! ```
+//! use keyformer_core::{CacheBudgetSpec, PolicySpec};
+//! use keyformer_model::engine::InferenceEngine;
+//! use keyformer_model::families::ModelFamily;
+//! use keyformer_model::generation::GenerationConfig;
+//!
+//! let model = ModelFamily::MptLike.build(42);
+//! let policy = PolicySpec::keyformer_default().build().unwrap();
+//! let budget = CacheBudgetSpec::new(0.5, 0.3).unwrap();
+//! let mut engine = InferenceEngine::new(&model, policy, Some(budget));
+//!
+//! let prompt: Vec<u32> = (1..40).map(|i| (i % 50) as u32).collect();
+//! let out = engine.generate(&prompt, &GenerationConfig::new(8));
+//! assert_eq!(out.generated.len(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attention;
+pub mod config;
+pub mod decoder;
+pub mod engine;
+pub mod families;
+pub mod generation;
+pub mod model;
+pub mod positional;
+pub mod stats;
+pub mod weights;
+
+pub use config::{ModelConfig, PositionMode};
+pub use engine::InferenceEngine;
+pub use families::ModelFamily;
+pub use generation::{GenerationConfig, GenerationOutput};
+pub use model::TransformerModel;
+pub use positional::PositionalEncoding;
+pub use stats::AttentionStats;

@@ -1,0 +1,216 @@
+//! Deterministic, structured weight construction.
+//!
+//! The substrate is not trained. Instead its weights are *constructed* so that the
+//! attention mechanism behaves associatively out of the box:
+//!
+//! * token embeddings are unit-norm Gaussian rows, so distinct tokens are nearly
+//!   orthogonal while repeated tokens match strongly;
+//! * the query/key projections are scaled identities plus small noise, so a query
+//!   attends most strongly to cached tokens whose embeddings resemble the current
+//!   residual stream — i.e. content-based addressing;
+//! * the value/output projections are near-identities so attended content flows into
+//!   the residual stream;
+//! * the feed-forward block is a small perturbation, keeping the residual stream
+//!   dominated by token identity.
+//!
+//! This gives the sparse, key-token-dominated attention structure the paper's
+//! Figures 3 and 14–15 show for real checkpoints, without requiring gigabytes of
+//! pretrained weights (see DESIGN.md, substitution table).
+
+use crate::config::ModelConfig;
+use crate::positional::PositionalEncoding;
+use keyformer_tensor::init::{gaussian_matrix, xavier_matrix};
+use keyformer_tensor::vector::l2_norm;
+use keyformer_tensor::Matrix;
+
+/// Scale applied to the identity component of the query/key projections. The product
+/// of the two scales (divided by `sqrt(head_dim)`) sets how sharply a query attends
+/// to a matching cached token.
+const QK_IDENTITY_SCALE: f32 = 2.0;
+/// Scale of the random perturbation added to each projection.
+const PROJECTION_NOISE: f32 = 0.08;
+/// Scale of the feed-forward contribution relative to the residual stream.
+const FFN_SCALE: f32 = 0.05;
+
+/// Weights of a single decoder layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerWeights {
+    /// Query projection, `(d_model, d_model)`.
+    pub wq: Matrix,
+    /// Key projection, `(d_model, d_model)`.
+    pub wk: Matrix,
+    /// Value projection, `(d_model, d_model)`.
+    pub wv: Matrix,
+    /// Output projection, `(d_model, d_model)`.
+    pub wo: Matrix,
+    /// Feed-forward input projection, `(d_ff, d_model)`.
+    pub ffn_in: Matrix,
+    /// Feed-forward output projection, `(d_model, d_ff)`.
+    pub ffn_out: Matrix,
+    /// Pre-attention LayerNorm gain.
+    pub ln1_gain: Vec<f32>,
+    /// Pre-attention LayerNorm bias.
+    pub ln1_bias: Vec<f32>,
+    /// Pre-FFN LayerNorm gain.
+    pub ln2_gain: Vec<f32>,
+    /// Pre-FFN LayerNorm bias.
+    pub ln2_bias: Vec<f32>,
+}
+
+/// All weights of the substrate model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelWeights {
+    /// Token embedding table, `(vocab_size, d_model)`; also used (transposed) as the
+    /// output head.
+    pub embedding: Matrix,
+    /// Learned position embedding table, `(max_seq_len, d_model)`; empty unless the
+    /// model uses [`PositionalEncoding::Learned`].
+    pub position_embedding: Matrix,
+    /// Per-layer weights.
+    pub layers: Vec<LayerWeights>,
+    /// Final LayerNorm gain.
+    pub final_ln_gain: Vec<f32>,
+    /// Final LayerNorm bias.
+    pub final_ln_bias: Vec<f32>,
+}
+
+fn scaled_identity_plus_noise(n: usize, identity_scale: f32, noise: f32, seed: u64) -> Matrix {
+    let mut m = gaussian_matrix(n, n, noise, seed);
+    for i in 0..n {
+        let v = m.get(i, i);
+        m.set(i, i, v + identity_scale);
+    }
+    m
+}
+
+fn unit_norm_rows(mut m: Matrix) -> Matrix {
+    for r in 0..m.rows() {
+        let norm = l2_norm(m.row(r)).max(1e-6);
+        for x in m.row_mut(r) {
+            *x /= norm;
+        }
+    }
+    m
+}
+
+impl ModelWeights {
+    /// Builds the full weight set for `config`, deterministically from `config.seed`.
+    pub fn build(config: &ModelConfig) -> Self {
+        let d = config.d_model;
+        let seed = config.seed;
+        let embedding = unit_norm_rows(gaussian_matrix(config.vocab_size, d, 1.0, seed));
+        let position_embedding = match config.positional {
+            PositionalEncoding::Learned => {
+                let mut table = Matrix::zeros(config.max_seq_len, d);
+                for p in 0..config.max_seq_len {
+                    let row = crate::positional::learned_position_embedding(p, d);
+                    table.row_mut(p).copy_from_slice(&row);
+                }
+                table
+            }
+            _ => Matrix::zeros(0, 0),
+        };
+        let layers = (0..config.num_layers)
+            .map(|l| {
+                let ls = seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(l as u64 + 1);
+                LayerWeights {
+                    wq: scaled_identity_plus_noise(d, QK_IDENTITY_SCALE, PROJECTION_NOISE, ls ^ 0x01),
+                    wk: scaled_identity_plus_noise(d, QK_IDENTITY_SCALE, PROJECTION_NOISE, ls ^ 0x02),
+                    wv: scaled_identity_plus_noise(d, 1.0, PROJECTION_NOISE, ls ^ 0x03),
+                    wo: scaled_identity_plus_noise(d, 1.0, PROJECTION_NOISE, ls ^ 0x04),
+                    ffn_in: xavier_matrix(config.d_ff, d, ls ^ 0x05),
+                    ffn_out: {
+                        let mut m = xavier_matrix(d, config.d_ff, ls ^ 0x06);
+                        m.scale_in_place(FFN_SCALE);
+                        m
+                    },
+                    ln1_gain: vec![1.0; d],
+                    ln1_bias: vec![0.0; d],
+                    ln2_gain: vec![1.0; d],
+                    ln2_bias: vec![0.0; d],
+                }
+            })
+            .collect();
+        ModelWeights {
+            embedding,
+            position_embedding,
+            layers,
+            final_ln_gain: vec![1.0; d],
+            final_ln_bias: vec![0.0; d],
+        }
+    }
+
+    /// Approximate parameter memory footprint in bytes (f32 storage).
+    pub fn byte_size(&self) -> usize {
+        let mut total = self.embedding.byte_size() + self.position_embedding.byte_size();
+        for l in &self.layers {
+            total += l.wq.byte_size()
+                + l.wk.byte_size()
+                + l.wv.byte_size()
+                + l.wo.byte_size()
+                + l.ffn_in.byte_size()
+                + l.ffn_out.byte_size()
+                + 4 * l.ln1_gain.len() * std::mem::size_of::<f32>();
+        }
+        total + 2 * self.final_ln_gain.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keyformer_tensor::vector::dot;
+
+    #[test]
+    fn build_is_deterministic_in_seed() {
+        let config = ModelConfig::tiny();
+        let a = ModelWeights::build(&config);
+        let b = ModelWeights::build(&config);
+        let c = ModelWeights::build(&config.with_seed(8));
+        assert_eq!(a, b);
+        assert_ne!(a.embedding, c.embedding);
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm_and_near_orthogonal() {
+        let w = ModelWeights::build(&ModelConfig::tiny());
+        let e = &w.embedding;
+        for r in 0..8 {
+            assert!((keyformer_tensor::vector::l2_norm(e.row(r)) - 1.0).abs() < 1e-4);
+        }
+        // Distinct tokens correlate far less than a token with itself.
+        let self_sim = dot(e.row(3), e.row(3));
+        let cross_sim = dot(e.row(3), e.row(4)).abs();
+        assert!(self_sim > 0.99);
+        assert!(cross_sim < 0.7);
+    }
+
+    #[test]
+    fn qk_projections_are_identity_dominated() {
+        let w = ModelWeights::build(&ModelConfig::tiny());
+        let wq = &w.layers[0].wq;
+        let diag_mean: f32 =
+            (0..wq.rows()).map(|i| wq.get(i, i)).sum::<f32>() / wq.rows() as f32;
+        assert!(diag_mean > 1.5, "diag mean {diag_mean}");
+    }
+
+    #[test]
+    fn learned_positional_table_only_for_learned_models() {
+        let rope = ModelWeights::build(&ModelConfig::tiny());
+        assert!(rope.position_embedding.is_empty());
+        let learned = ModelWeights::build(
+            &ModelConfig::tiny().with_positional(PositionalEncoding::Learned),
+        );
+        assert_eq!(learned.position_embedding.rows(), 512);
+    }
+
+    #[test]
+    fn layer_count_and_byte_size() {
+        let config = ModelConfig::tiny();
+        let w = ModelWeights::build(&config);
+        assert_eq!(w.layers.len(), config.num_layers);
+        assert!(w.byte_size() > config.vocab_size * config.d_model * 4);
+    }
+}

@@ -1,0 +1,30 @@
+//! # keyformer-perf
+//!
+//! An analytic accelerator performance model standing in for the paper's NVIDIA A100
+//! measurements (Figures 1, 9, 10 and Table 1). Generative decoding of large models
+//! is memory-bandwidth bound: every generated token must stream the model weights and
+//! the live KV cache from HBM. The model here is a straightforward roofline:
+//!
+//! * **bytes moved** = model weights + KV cache (per decode step) + activations,
+//! * **compute time** = FLOPs / peak throughput (matters for the prompt phase),
+//! * **step latency** = max(memory time, compute time) + fixed kernel overhead,
+//! * **capacity** = weights + KV cache + workspace must fit in HBM, which bounds the
+//!   batch size (the paper's "OOM" row in Table 1).
+//!
+//! Reducing the KV cache to a fraction `f` of the full cache cuts the cache term of
+//! every decode step by `1 - f` and frees capacity for larger batches — exactly the
+//! two effects the paper measures. Keyformer's Gumbel-softmax scoring adds a small
+//! per-step overhead which the model accounts for explicitly (Figure 10).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accelerator;
+pub mod latency;
+pub mod model_shape;
+pub mod workload;
+
+pub use accelerator::Accelerator;
+pub use latency::{InferenceEstimate, PerfModel, PhaseBreakdown};
+pub use model_shape::ModelShape;
+pub use workload::{CachePolicyCost, Workload};

@@ -1,0 +1,130 @@
+//! Seeded, deterministic weight initialisation.
+//!
+//! Every model in the reproduction is built from these initialisers so that a single
+//! `u64` seed fully determines all weights, making every experiment reproducible.
+
+use crate::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a matrix with entries drawn i.i.d. from a uniform distribution on
+/// `[-scale, scale]`, using a dedicated PRNG seeded with `seed`.
+pub fn uniform_matrix(rows: usize, cols: usize, scale: f32, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::zeros(rows, cols);
+    for x in m.as_mut_slice() {
+        *x = rng.gen_range(-scale..=scale);
+    }
+    m
+}
+
+/// Creates a matrix with entries drawn i.i.d. from `N(0, std^2)` using Box–Muller,
+/// seeded with `seed`.
+pub fn gaussian_matrix(rows: usize, cols: usize, std: f32, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::zeros(rows, cols);
+    for x in m.as_mut_slice() {
+        *x = std * gaussian_sample(&mut rng);
+    }
+    m
+}
+
+/// Xavier/Glorot uniform initialisation: scale `sqrt(6 / (fan_in + fan_out))`.
+///
+/// This is the default initialiser for the projection matrices in the substrate
+/// transformer; it keeps activations in a range where attention logits stay
+/// well-conditioned without training.
+pub fn xavier_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let scale = (6.0 / (rows + cols) as f32).sqrt();
+    uniform_matrix(rows, cols, scale, seed)
+}
+
+/// Draws a single standard-normal sample from `rng` via the Box–Muller transform.
+pub fn gaussian_sample<R: Rng>(rng: &mut R) -> f32 {
+    // Avoid u1 == 0 which would make ln(0) = -inf.
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Draws a single sample from the standard Gumbel distribution (location 0, scale 1)
+/// using inverse-transform sampling: `-ln(-ln(u))`.
+///
+/// The standard Gumbel distribution has mean `γ ≈ 0.5772` (the Euler–Mascheroni
+/// constant) and standard deviation `π/√6 ≈ 1.2825`, the exact values the paper
+/// reuses for its Gaussian/constant ablations (Table 4).
+pub fn gumbel_sample<R: Rng>(rng: &mut R) -> f32 {
+    let u: f32 = rng.gen_range(f32::EPSILON..1.0);
+    -(-u.ln()).ln()
+}
+
+/// Mean of the standard Gumbel distribution (Euler–Mascheroni constant).
+pub const GUMBEL_MEAN: f32 = 0.577_215_7;
+
+/// Standard deviation of the standard Gumbel distribution (`π / sqrt(6)`).
+pub const GUMBEL_STD: f32 = 1.282_549_8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_matrix_is_deterministic_and_bounded() {
+        let a = uniform_matrix(8, 8, 0.5, 42);
+        let b = uniform_matrix(8, 8, 0.5, 42);
+        let c = uniform_matrix(8, 8, 0.5, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|&x| x.abs() <= 0.5));
+    }
+
+    #[test]
+    fn gaussian_matrix_has_roughly_correct_moments() {
+        let m = gaussian_matrix(64, 64, 2.0, 7);
+        let mean = crate::vector::mean(m.as_slice());
+        let var = crate::vector::variance(m.as_slice());
+        assert!(mean.abs() < 0.15, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.6, "var {var}");
+    }
+
+    #[test]
+    fn xavier_scale_shrinks_with_size() {
+        let small = xavier_matrix(4, 4, 1);
+        let large = xavier_matrix(256, 256, 1);
+        let small_max = small.as_slice().iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+        let large_max = large.as_slice().iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+        assert!(large_max < small_max);
+    }
+
+    #[test]
+    fn gumbel_sample_moments_match_theory() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let samples: Vec<f32> = (0..20_000).map(|_| gumbel_sample(&mut rng)).collect();
+        let mean = crate::vector::mean(&samples);
+        let std = crate::vector::variance(&samples).sqrt();
+        assert!((mean - GUMBEL_MEAN).abs() < 0.05, "mean {mean}");
+        assert!((std - GUMBEL_STD).abs() < 0.08, "std {std}");
+    }
+
+    #[test]
+    fn gumbel_is_right_skewed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<f32> = (0..20_000).map(|_| gumbel_sample(&mut rng)).collect();
+        let mean = crate::vector::mean(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        // Right skew: mean exceeds median.
+        assert!(mean > median);
+    }
+
+    #[test]
+    fn gaussian_sample_is_finite() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert!(gaussian_sample(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Small free functions over `f32` slices used throughout the workspace.
+
+/// Dot product of two slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Element-wise sum of two slices into a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "add requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Multiplies every element of a slice by `factor`, returning a new vector.
+pub fn scale(a: &[f32], factor: f32) -> Vec<f32> {
+    a.iter().map(|x| x * factor).collect()
+}
+
+/// Euclidean norm of a slice.
+pub fn l2_norm(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Arithmetic mean; returns 0 for an empty slice.
+pub fn mean(a: &[f32]) -> f32 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f32>() / a.len() as f32
+    }
+}
+
+/// Population variance; returns 0 for an empty slice.
+pub fn variance(a: &[f32]) -> f32 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / a.len() as f32
+}
+
+/// Index of the maximum element, breaking ties towards the lowest index.
+///
+/// Returns `None` for an empty slice or if every element is NaN.
+pub fn argmax(a: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &x) in a.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bx)) if x <= bx => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_known_value() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(scale(&[1.0, 2.0], 3.0), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn l2_norm_known_value() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_behaviour() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f32::NAN, 1.0]), Some(1));
+        assert_eq!(argmax(&[f32::NAN]), None);
+    }
+}

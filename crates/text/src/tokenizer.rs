@@ -1,0 +1,67 @@
+//! A whitespace tokenizer over the synthetic vocabulary.
+
+use crate::vocab::{Vocabulary, EOS};
+
+/// Tokenizes whitespace-separated surface forms into token ids and back.
+///
+/// Unknown words map to the end-of-sequence token rather than erroring, mirroring the
+/// forgiving behaviour of real tokenizers' UNK handling.
+#[derive(Debug, Clone, Default)]
+pub struct Tokenizer {
+    vocab: Vocabulary,
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer over the synthetic vocabulary.
+    pub fn new() -> Self {
+        Tokenizer {
+            vocab: Vocabulary::new(),
+        }
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Encodes a space-separated string into token ids.
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        text.split_whitespace()
+            .map(|w| self.vocab.id(w).unwrap_or(EOS))
+            .collect()
+    }
+
+    /// Decodes token ids back into a space-separated string.
+    pub fn decode(&self, tokens: &[u32]) -> String {
+        self.vocab.render(tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::{BOS, EOS, TLDR};
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let t = Tokenizer::new();
+        let text = "<bos> the3 topic7 fact12 <tldr> <eos>";
+        let ids = t.encode(text);
+        assert_eq!(ids[0], BOS);
+        assert_eq!(ids[4], TLDR);
+        assert_eq!(t.decode(&ids), text);
+    }
+
+    #[test]
+    fn unknown_words_become_eos() {
+        let t = Tokenizer::new();
+        assert_eq!(t.encode("gibberish"), vec![EOS]);
+        assert_eq!(t.encode(""), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn whitespace_is_normalised() {
+        let t = Tokenizer::new();
+        assert_eq!(t.encode("  the1   the2 "), vec![17, 18]);
+    }
+}

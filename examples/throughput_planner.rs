@@ -1,0 +1,46 @@
+//! Serving-capacity planner built on the analytic A100 roofline model: for a target
+//! sequence length, report latency, throughput and the largest batch that fits for
+//! full attention vs. Keyformer at several cache budgets (the Table 1 / Figure 9
+//! scenario as a planning tool).
+//!
+//! ```text
+//! cargo run --release --example throughput_planner -- 4096
+//! ```
+
+use keyformer::perf::{CachePolicyCost, PerfModel, Workload};
+
+fn main() {
+    let seq: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+    let model = PerfModel::paper_default();
+    let workload = Workload::symmetric(seq).with_beam_size(4);
+    println!(
+        "model {} on {}, workload {}+{} tokens, beam 4",
+        model.model.name, model.accelerator.name, seq, seq
+    );
+    println!(
+        "{:<22} {:>12} {:>14} {:>12} {:>10}",
+        "policy", "latency (s)", "tokens/s", "peak GB", "max batch"
+    );
+    let policies = [
+        CachePolicyCost::full_attention(),
+        CachePolicyCost::h2o(0.9),
+        CachePolicyCost::keyformer(0.7),
+        CachePolicyCost::keyformer(0.5),
+        CachePolicyCost::window(0.5),
+    ];
+    for policy in policies {
+        let est = model.estimate(&workload, &policy);
+        let max_batch = model.max_batch_size(&workload, &policy, 64);
+        println!(
+            "{:<22} {:>12.2} {:>14.1} {:>12.1} {:>10}",
+            format!("{} ({:.0}%)", policy.name, policy.cache_fraction * 100.0),
+            est.total_latency_s(),
+            est.tokens_per_second,
+            est.peak_bytes as f64 / 1e9,
+            max_batch.map_or("OOM".to_string(), |b| b.to_string())
+        );
+    }
+}

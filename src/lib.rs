@@ -1,0 +1,38 @@
+//! # keyformer
+//!
+//! Facade crate of the Keyformer reproduction (Adnan et al., MLSys 2024): re-exports
+//! the full public API of the workspace so applications can depend on a single crate.
+//!
+//! * [`core`] — KV cache, eviction-policy trait and the policy zoo (Keyformer, H2O,
+//!   window attention, StreamingLLM, …).
+//! * [`model`] — the decoder-only transformer substrate (RoPE / ALiBi / learned
+//!   positions) and the [`model::engine::InferenceEngine`].
+//! * [`text`] — synthetic tasks, ROUGE and evaluation drivers.
+//! * [`perf`] — the analytic A100 roofline model.
+//! * [`harness`] — experiment definitions regenerating every paper table and figure.
+//!
+//! ```
+//! use keyformer::core::{CacheBudgetSpec, PolicySpec};
+//! use keyformer::model::engine::InferenceEngine;
+//! use keyformer::model::families::ModelFamily;
+//! use keyformer::model::generation::GenerationConfig;
+//!
+//! let model = ModelFamily::MptLike.build(7);
+//! let policy = PolicySpec::keyformer_default().build()?;
+//! let budget = CacheBudgetSpec::with_fraction(0.5)?;
+//! let mut engine = InferenceEngine::new(&model, policy, Some(budget));
+//! let prompt: Vec<u32> = (16..80).collect();
+//! let output = engine.generate(&prompt, &GenerationConfig::new(8));
+//! assert_eq!(output.generated.len(), 8);
+//! # Ok::<(), keyformer::core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use keyformer_core as core;
+pub use keyformer_harness as harness;
+pub use keyformer_model as model;
+pub use keyformer_perf as perf;
+pub use keyformer_tensor as tensor;
+pub use keyformer_text as text;

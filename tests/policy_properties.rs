@@ -1,0 +1,132 @@
+//! Property-based tests on the cache-policy invariants that every experiment relies
+//! on: selections are valid (sorted, unique, in-bounds, right-sized), recent windows
+//! are always retained, compaction keeps policies and caches consistent, and ROUGE
+//! stays within [0, 1].
+
+use keyformer::core::budget::CacheBudget;
+use keyformer::core::observation::{AttentionObservation, Phase};
+use keyformer::core::spec::PolicySpec;
+use keyformer::text::rouge::rouge_scores;
+use proptest::prelude::*;
+
+fn all_policies() -> Vec<PolicySpec> {
+    vec![
+        PolicySpec::Full,
+        PolicySpec::Window,
+        PolicySpec::DilatedWindow { dilation: 1 },
+        PolicySpec::KeyOnly,
+        PolicySpec::h2o_default(),
+        PolicySpec::Damped { alpha: 0.9 },
+        PolicySpec::streaming_default(),
+        PolicySpec::keyformer_default(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every policy returns a structurally valid selection of exactly the budgeted
+    /// size, and always keeps the most recent slot.
+    #[test]
+    fn selections_satisfy_the_contract(
+        logits in proptest::collection::vec(-4.0f32..4.0, 8..96),
+        capacity in 2usize..48,
+        recent in 1usize..8,
+    ) {
+        let live = logits.len();
+        let budget = CacheBudget::new(capacity.min(live).max(2), recent.min(capacity.min(live).max(2)));
+        for spec in all_policies() {
+            let mut policy = spec.build().unwrap();
+            policy.observe(&AttentionObservation {
+                layer: 0,
+                head: 0,
+                phase: Phase::Generation,
+                step: 1,
+                total_steps: 16,
+                logits: &logits,
+            });
+            let selection = policy.select_retained(0, live, &budget);
+            // Structural contract.
+            keyformer::core::cache::validate_selection(&selection, live).unwrap();
+            if spec != PolicySpec::Full {
+                prop_assert_eq!(selection.len(), budget.capacity().min(live));
+            } else {
+                prop_assert_eq!(selection.len(), live);
+            }
+            // Recency contract: the newest slot always survives (all policies keep
+            // at least a window of 1, and full attention keeps everything). KeyOnly
+            // has no recent window by design, and StreamingLLM spends its whole
+            // budget on sink tokens when the budget is smaller than the sink count.
+            let sinks_consume_budget =
+                spec == PolicySpec::streaming_default() && budget.capacity() <= 4;
+            if spec != PolicySpec::KeyOnly && !sinks_consume_budget {
+                prop_assert!(
+                    selection.contains(&(live - 1)),
+                    "{}: newest slot evicted", spec.label()
+                );
+            }
+        }
+    }
+
+    /// Compacting a policy with the selection it just produced never panics and
+    /// subsequent selections remain valid for the reduced cache.
+    #[test]
+    fn compaction_keeps_policies_consistent(
+        logits in proptest::collection::vec(-4.0f32..4.0, 16..64),
+        rounds in 1usize..4,
+    ) {
+        for spec in all_policies() {
+            let mut policy = spec.build().unwrap();
+            let mut live = logits.len();
+            for round in 0..rounds {
+                let slice = &logits[..live];
+                policy.observe(&AttentionObservation {
+                    layer: 0,
+                    head: 0,
+                    phase: Phase::Generation,
+                    step: round,
+                    total_steps: 8,
+                    logits: slice,
+                });
+                let budget = CacheBudget::new((live / 2).max(2), 1);
+                let selection = policy.select_retained(0, live, &budget);
+                keyformer::core::cache::validate_selection(&selection, live).unwrap();
+                policy.compact(0, &selection);
+                live = selection.len().max(2);
+            }
+        }
+    }
+
+    /// ROUGE scores are always within [0, 1] and exact matches score 1.
+    #[test]
+    fn rouge_is_bounded(
+        candidate in proptest::collection::vec(0u32..200, 0..40),
+        reference in proptest::collection::vec(0u32..200, 1..40),
+    ) {
+        let scores = rouge_scores(&candidate, &reference);
+        for s in [scores.rouge1, scores.rouge2, scores.rouge_l] {
+            prop_assert!((0.0..=1.0).contains(&s.f1));
+            prop_assert!((0.0..=1.0).contains(&s.precision));
+            prop_assert!((0.0..=1.0).contains(&s.recall));
+        }
+        let exact = rouge_scores(&reference, &reference);
+        prop_assert!((exact.rouge1.f1 - 1.0).abs() < 1e-6);
+        prop_assert!((exact.rouge_l.f1 - 1.0).abs() < 1e-6);
+    }
+
+    /// Cache budgets derived from a spec never exceed the prompt length by more than
+    /// the minimum-capacity floor and always reserve at least one recent slot.
+    #[test]
+    fn budget_spec_is_well_formed(
+        fraction in 0.05f64..1.0,
+        ratio in 0.05f64..1.0,
+        prompt_len in 1usize..4096,
+    ) {
+        let spec = keyformer::core::budget::CacheBudgetSpec::new(fraction, ratio).unwrap();
+        let budget = spec.for_prompt_len(prompt_len);
+        prop_assert!(budget.capacity() >= 1);
+        prop_assert!(budget.recent_window() >= 1);
+        prop_assert!(budget.recent_window() <= budget.capacity());
+        prop_assert!(budget.capacity() <= prompt_len.max(4));
+    }
+}
