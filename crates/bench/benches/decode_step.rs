@@ -74,17 +74,13 @@ fn bench_prompt_scaling(c: &mut Criterion) {
             } else {
                 PolicySpec::Full
             };
-            group.bench_with_input(
-                BenchmarkId::new(label, prompt_len),
-                &prompt,
-                |b, prompt| {
-                    b.iter(|| {
-                        let mut engine =
-                            InferenceEngine::new(&model, policy.build().expect("valid"), budget);
-                        black_box(engine.generate(black_box(prompt), &config))
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, prompt_len), &prompt, |b, prompt| {
+                b.iter(|| {
+                    let mut engine =
+                        InferenceEngine::new(&model, policy.build().expect("valid"), budget);
+                    black_box(engine.generate(black_box(prompt), &config))
+                });
+            });
         }
     }
     group.finish();

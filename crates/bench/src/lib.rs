@@ -55,7 +55,9 @@ pub fn bench_samples(num: usize) -> Vec<Sample> {
         plant_span: 0.75,
         seed: 9_999,
     };
-    SummarizationDataset::generate(&spec, num).samples().to_vec()
+    SummarizationDataset::generate(&spec, num)
+        .samples()
+        .to_vec()
 }
 
 #[cfg(test)]

@@ -9,18 +9,13 @@ use serde::{Deserialize, Serialize};
 
 /// Whether scores are accumulated per decoder layer or shared across all layers
 /// (the paper's Table 3 "Per-Layer" vs. "Shared" ablation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum ScoreScope {
     /// A dedicated accumulator per decoder layer (the paper's best-performing choice).
+    #[default]
     PerLayer,
     /// One global accumulator shared by every decoder layer.
     Shared,
-}
-
-impl Default for ScoreScope {
-    fn default() -> Self {
-        ScoreScope::PerLayer
-    }
 }
 
 impl std::fmt::Display for ScoreScope {

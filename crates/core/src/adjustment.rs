@@ -11,7 +11,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A distribution added to unnormalized attention logits before scoring.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum LogitAdjustment {
     /// No adjustment: `y_i = x_i`. This is the H2O-style accumulated-attention score.
     None,
@@ -25,13 +25,8 @@ pub enum LogitAdjustment {
         std: f32,
     },
     /// Standard Gumbel noise (location 0, scale 1) — the Keyformer default.
+    #[default]
     Gumbel,
-}
-
-impl Default for LogitAdjustment {
-    fn default() -> Self {
-        LogitAdjustment::Gumbel
-    }
 }
 
 impl LogitAdjustment {
@@ -81,7 +76,9 @@ impl std::fmt::Display for LogitAdjustment {
         match self {
             LogitAdjustment::None => write!(f, "none"),
             LogitAdjustment::Constant(c) => write!(f, "constant({c})"),
-            LogitAdjustment::Gaussian { mean, std } => write!(f, "gaussian(mu={mean}, sigma={std})"),
+            LogitAdjustment::Gaussian { mean, std } => {
+                write!(f, "gaussian(mu={mean}, sigma={std})")
+            }
             LogitAdjustment::Gumbel => write!(f, "gumbel"),
         }
     }
@@ -98,7 +95,10 @@ mod tests {
     fn none_is_identity() {
         let mut rng = StdRng::seed_from_u64(1);
         let logits = [1.0, -2.0, 3.0];
-        assert_eq!(LogitAdjustment::None.adjust(&logits, &mut rng), logits.to_vec());
+        assert_eq!(
+            LogitAdjustment::None.adjust(&logits, &mut rng),
+            logits.to_vec()
+        );
     }
 
     #[test]
@@ -111,7 +111,10 @@ mod tests {
     #[test]
     fn gaussian_matches_requested_moments() {
         let mut rng = StdRng::seed_from_u64(2);
-        let adj = LogitAdjustment::Gaussian { mean: 1.0, std: 0.5 };
+        let adj = LogitAdjustment::Gaussian {
+            mean: 1.0,
+            std: 0.5,
+        };
         let samples: Vec<f32> = (0..20_000).map(|_| adj.sample(&mut rng)).collect();
         assert!((mean(&samples) - 1.0).abs() < 0.03);
         assert!((variance(&samples).sqrt() - 0.5).abs() < 0.03);

@@ -152,8 +152,7 @@ impl CacheBudgetSpec {
     pub fn for_prompt_len(&self, prompt_len: usize) -> CacheBudget {
         let raw = (self.cache_fraction * prompt_len as f64).ceil() as usize;
         let capacity = raw.max(self.min_capacity);
-        let recent = ((self.recent_ratio * capacity as f64).round() as usize)
-            .clamp(1, capacity);
+        let recent = ((self.recent_ratio * capacity as f64).round() as usize).clamp(1, capacity);
         CacheBudget::new(capacity, recent)
     }
 }

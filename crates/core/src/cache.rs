@@ -274,12 +274,14 @@ mod tests {
     fn append_validates_shapes() {
         let mut layer = LayerKvCache::new(2, 3);
         // Wrong number of heads.
-        assert!(layer
-            .append(0, &[vec![0.0; 3]], &[vec![0.0; 3]])
-            .is_err());
+        assert!(layer.append(0, &[vec![0.0; 3]], &[vec![0.0; 3]]).is_err());
         // Wrong head_dim.
         assert!(layer
-            .append(0, &[vec![0.0; 2], vec![0.0; 3]], &[vec![0.0; 3], vec![0.0; 3]])
+            .append(
+                0,
+                &[vec![0.0; 2], vec![0.0; 3]],
+                &[vec![0.0; 3], vec![0.0; 3]]
+            )
             .is_err());
     }
 

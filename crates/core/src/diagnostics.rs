@@ -120,7 +120,11 @@ pub fn attention_mass_cdf(probs: &[f32], fractions: &[f64]) -> Vec<CdfPoint> {
         .iter()
         .map(|&frac| {
             let count = ((frac * sorted.len() as f64).round() as usize).min(sorted.len());
-            let mass = if total > 0.0 { prefix[count] / total } else { 0.0 };
+            let mass = if total > 0.0 {
+                prefix[count] / total
+            } else {
+                0.0
+            };
             CdfPoint {
                 token_fraction: frac,
                 attention_mass: mass,

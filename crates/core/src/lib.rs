@@ -43,6 +43,32 @@
 //! // The recent window (slots 4 and 5) is always preserved.
 //! assert!(retained.contains(&4) && retained.contains(&5));
 //! ```
+//!
+//! Policies are usually constructed declaratively through [`spec::PolicySpec`],
+//! which keeps experiment definitions serializable data:
+//!
+//! ```
+//! use keyformer_core::budget::CacheBudgetSpec;
+//! use keyformer_core::spec::PolicySpec;
+//!
+//! // Every entry in the policy zoo has a spec; specs build boxed policies.
+//! for spec in [
+//!     PolicySpec::Full,
+//!     PolicySpec::Window,
+//!     PolicySpec::h2o_default(),
+//!     PolicySpec::streaming_default(),
+//!     PolicySpec::keyformer_default(),
+//! ] {
+//!     let policy = spec.build()?;
+//!     assert!(!policy.name().is_empty());
+//! }
+//!
+//! // A budget spec scales with the prompt: keep 50% of prompt tokens, a tenth
+//! // of them reserved for the most recent positions.
+//! let budget = CacheBudgetSpec::new(0.5, 0.1)?.for_prompt_len(64);
+//! assert_eq!(budget.capacity(), 32);
+//! # Ok::<(), keyformer_core::CoreError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -101,7 +127,9 @@ mod tests {
     fn errors_are_send_sync_and_display() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CoreError>();
-        assert!(CoreError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(CoreError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
         assert!(CoreError::InvalidSelection("y".into())
             .to_string()
             .contains("y"));

@@ -44,7 +44,10 @@ mod tests {
     fn never_evicts() {
         let mut p = FullAttention::new();
         let budget = CacheBudget::new(4, 2);
-        assert_eq!(p.select_retained(0, 10, &budget), (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            p.select_retained(0, 10, &budget),
+            (0..10).collect::<Vec<_>>()
+        );
         assert_eq!(p.name(), "full");
     }
 

@@ -129,7 +129,10 @@ mod tests {
         observe(&mut p, 0, &[0.0, 0.0, 4.0, 0.0, 0.0]);
         let budget = CacheBudget::new(2, 1);
         let sel = p.select_retained(0, 5, &budget);
-        assert!(sel.contains(&0), "consistently attended token must win: {sel:?}");
+        assert!(
+            sel.contains(&0),
+            "consistently attended token must win: {sel:?}"
+        );
     }
 
     #[test]

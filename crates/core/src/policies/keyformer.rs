@@ -227,7 +227,10 @@ mod tests {
         let budget = CacheBudget::new(4, 2);
         let sel = p.select_retained(0, 6, &budget);
         assert_eq!(sel.len(), 4);
-        assert!(sel.contains(&4) && sel.contains(&5), "recent window lost: {sel:?}");
+        assert!(
+            sel.contains(&4) && sel.contains(&5),
+            "recent window lost: {sel:?}"
+        );
     }
 
     #[test]
@@ -333,6 +336,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid Keyformer configuration")]
     fn invalid_temperature_panics_on_construction() {
-        Keyformer::new(KeyformerConfig::default().with_temperature(TemperatureSchedule::Static(0.0)));
+        Keyformer::new(
+            KeyformerConfig::default().with_temperature(TemperatureSchedule::Static(0.0)),
+        );
     }
 }

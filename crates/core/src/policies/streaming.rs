@@ -152,7 +152,10 @@ mod tests {
         // One new token arrives; cache is now 6 slots; original sinks are slots 0,1.
         observe(&mut p, 0, 6);
         let sel2 = p.select_retained(0, 6, &budget);
-        assert!(sel2.contains(&0) && sel2.contains(&1), "sinks lost: {sel2:?}");
+        assert!(
+            sel2.contains(&0) && sel2.contains(&1),
+            "sinks lost: {sel2:?}"
+        );
         assert_eq!(sel2.len(), 5);
     }
 

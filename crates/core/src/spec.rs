@@ -183,9 +183,13 @@ mod tests {
     fn labels_are_descriptive() {
         assert_eq!(PolicySpec::Full.label(), "Full");
         assert!(PolicySpec::keyformer_default().label().contains("gumbel"));
-        assert!(PolicySpec::Damped { alpha: 0.875 }.label().contains("0.875"));
+        assert!(PolicySpec::Damped { alpha: 0.875 }
+            .label()
+            .contains("0.875"));
         assert!(PolicySpec::streaming_default().label().contains("4"));
-        assert!(PolicySpec::DilatedWindow { dilation: 2 }.to_string().contains("d=2"));
+        assert!(PolicySpec::DilatedWindow { dilation: 2 }
+            .to_string()
+            .contains("d=2"));
     }
 
     #[test]

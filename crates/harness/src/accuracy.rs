@@ -223,7 +223,14 @@ pub fn figure16(samples: usize) -> Table {
         scope: ScoreScope::PerLayer,
         seed: 7,
     };
-    let scores = run(&model, &EvalSetting { policy: dynamic, budget: budget(0.5).budget }, &data);
+    let scores = run(
+        &model,
+        &EvalSetting {
+            policy: dynamic,
+            budget: budget(0.5).budget,
+        },
+        &data,
+    );
     table.push_row(vec!["dynamic (1->2)".into(), fmt(scores.rouge2.f1)]);
     for tau in [1.0f32, 2.0, 3.0, 5.0, 10.0, 15.0] {
         let spec = PolicySpec::Keyformer {
@@ -232,7 +239,14 @@ pub fn figure16(samples: usize) -> Table {
             scope: ScoreScope::PerLayer,
             seed: 7,
         };
-        let scores = run(&model, &EvalSetting { policy: spec, budget: budget(0.5).budget }, &data);
+        let scores = run(
+            &model,
+            &EvalSetting {
+                policy: spec,
+                budget: budget(0.5).budget,
+            },
+            &data,
+        );
         table.push_row(vec![format!("static {tau}"), fmt(scores.rouge2.f1)]);
     }
     table
@@ -273,7 +287,9 @@ pub fn table2(items: usize) -> Table {
 pub fn table3(samples: usize) -> Table {
     let mut table = Table::new(
         "Table 3: score-function and positional ablations (MPT-like, 60% cache)",
-        &["method", "score_fn", "kv_cache", "rouge1", "rouge2", "rougeL"],
+        &[
+            "method", "score_fn", "kv_cache", "rouge1", "rouge2", "rougeL",
+        ],
     );
     let data = summarization_samples(samples);
     let model = ModelFamily::MptLike.build(MODEL_SEED);
@@ -317,7 +333,11 @@ pub fn table3(samples: usize) -> Table {
         "StreamingLLM",
         "-",
         "60%",
-        run(&model, &setting(PolicySpec::streaming_default(), 0.6), &data),
+        run(
+            &model,
+            &setting(PolicySpec::streaming_default(), 0.6),
+            &data,
+        ),
     );
     push(
         "Keyformer (new pos)",
@@ -333,7 +353,11 @@ pub fn table3(samples: usize) -> Table {
         "Keyformer (org pos)",
         "per-layer",
         "60%",
-        run(&model, &setting(PolicySpec::keyformer_default(), 0.6), &data),
+        run(
+            &model,
+            &setting(PolicySpec::keyformer_default(), 0.6),
+            &data,
+        ),
     );
     let shared = PolicySpec::Keyformer {
         adjustment: LogitAdjustment::Gumbel,

@@ -4,10 +4,10 @@
 use crate::report::{fmt, Table};
 use keyformer_core::diagnostics::softmax_shift;
 use keyformer_core::spec::PolicySpec;
-use keyformer_tensor::top_k_indices;
-use keyformer_model::families::ModelFamily;
 use keyformer_model::engine::InferenceEngine;
+use keyformer_model::families::ModelFamily;
 use keyformer_model::generation::GenerationConfig;
+use keyformer_tensor::top_k_indices;
 use keyformer_text::datasets::summarization::{SummarizationDataset, SummarizationSpec};
 
 fn collect_stats(family: ModelFamily, samples: usize) -> keyformer_model::AttentionStats {
@@ -16,12 +16,13 @@ fn collect_stats(family: ModelFamily, samples: usize) -> keyformer_model::Attent
     let model = family.build(crate::accuracy::MODEL_SEED);
     let mut engine = InferenceEngine::new(&model, PolicySpec::Full.build().expect("full"), None);
     engine.enable_stats();
-    let mut merged = keyformer_model::AttentionStats::new(
-        model.config().num_layers,
-        model.config().num_heads,
-    );
+    let mut merged =
+        keyformer_model::AttentionStats::new(model.config().num_layers, model.config().num_heads);
     for sample in dataset.samples() {
-        engine.generate(&sample.prompt, &GenerationConfig::new(sample.reference.len()));
+        engine.generate(
+            &sample.prompt,
+            &GenerationConfig::new(sample.reference.len()),
+        );
         for record in engine.stats().expect("stats enabled").records() {
             merged.record(record.clone());
         }
@@ -127,11 +128,7 @@ pub fn figure14(samples: usize) -> Table {
         for layer in 0..config.num_layers {
             for head in 0..config.num_heads {
                 let map = stats.heatmap(layer, head, 512);
-                let zero = map
-                    .as_slice()
-                    .iter()
-                    .filter(|&&p| p < 0.01)
-                    .count() as f64
+                let zero = map.as_slice().iter().filter(|&&p| p < 0.01).count() as f64
                     / map.len().max(1) as f64;
                 table.push_row(vec![
                     family.label().into(),

@@ -15,8 +15,8 @@
 pub mod accuracy;
 pub mod analysis;
 pub mod perf;
-pub mod report;
 pub mod registry;
+pub mod report;
 
 pub use registry::{run_experiment, ExperimentId};
 pub use report::Table;

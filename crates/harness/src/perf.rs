@@ -127,7 +127,10 @@ pub fn table1() -> Table {
         table.push_row(cells);
     };
     for len in [1024usize, 2048] {
-        row(format!("{len}+{len}"), Workload::symmetric(len).with_beam_size(4));
+        row(
+            format!("{len}+{len}"),
+            Workload::symmetric(len).with_beam_size(4),
+        );
     }
     row(
         "4096+4096 (BS=1)".into(),
@@ -135,7 +138,9 @@ pub fn table1() -> Table {
     );
     row(
         "4096+4096 (BS=8)".into(),
-        Workload::symmetric(4096).with_beam_size(4).with_batch_size(8),
+        Workload::symmetric(4096)
+            .with_beam_size(4)
+            .with_batch_size(8),
     );
     table
 }
@@ -151,7 +156,10 @@ mod tests {
         let l512: f64 = t.cell(0, "norm_latency").unwrap().parse().unwrap();
         let l8k: f64 = t.cell(2, "norm_latency").unwrap().parse().unwrap();
         assert!((l512 - 1.0).abs() < 1e-6);
-        assert!(l8k > 20.0, "8k latency should be >20x the 512 latency, got {l8k}");
+        assert!(
+            l8k > 20.0,
+            "8k latency should be >20x the 512 latency, got {l8k}"
+        );
     }
 
     #[test]

@@ -162,7 +162,12 @@ mod tests {
 
     #[test]
     fn perf_experiments_run_instantly() {
-        for id in [ExperimentId::Fig1, ExperimentId::Fig9, ExperimentId::Fig10, ExperimentId::Table1] {
+        for id in [
+            ExperimentId::Fig1,
+            ExperimentId::Fig9,
+            ExperimentId::Fig10,
+            ExperimentId::Table1,
+        ] {
             let table = run_experiment(id, 1);
             assert!(!table.rows.is_empty(), "{id} produced no rows");
         }

@@ -82,7 +82,10 @@ impl Table {
     /// Looks up a cell by row index and column name.
     pub fn cell(&self, row: usize, column: &str) -> Option<&str> {
         let col = self.columns.iter().position(|c| c == column)?;
-        self.rows.get(row).and_then(|r| r.get(col)).map(|s| s.as_str())
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(|s| s.as_str())
     }
 }
 

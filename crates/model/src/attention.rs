@@ -6,7 +6,9 @@
 //! post-softmax probabilities optionally flow into the statistics collector.
 
 use crate::config::{ModelConfig, PositionMode};
-use crate::positional::{alibi_bias, alibi_slope, apply_rope_scaled, PositionalEncoding, ROPE_BASE};
+use crate::positional::{
+    alibi_bias, alibi_slope, apply_rope_scaled, PositionalEncoding, ROPE_BASE,
+};
 use crate::stats::{AttentionRecord, AttentionStats};
 use keyformer_core::cache::LayerKvCache;
 use keyformer_core::observation::{AttentionObservation, Phase};
@@ -59,7 +61,10 @@ pub fn attend_single_query(
 ) -> AttentionOutput {
     let num_heads = config.num_heads;
     let head_dim = config.head_dim();
-    assert!(!cache.is_empty(), "attention requires at least one cached slot");
+    assert!(
+        !cache.is_empty(),
+        "attention requires at least one cached slot"
+    );
     assert_eq!(cache.num_heads(), num_heads, "cache head count mismatch");
     assert_eq!(cache.head_dim(), head_dim, "cache head dim mismatch");
 
@@ -91,9 +96,8 @@ pub fn attend_single_query(
         let slope = alibi_slope(head, num_heads);
         let keys = cache.keys(head);
         let mut logits = Vec::with_capacity(live);
-        for slot in 0..live {
+        for (slot, &k_pos) in key_positions.iter().enumerate().take(live) {
             let mut k: Vec<f32> = keys.row(slot).to_vec();
-            let k_pos = key_positions[slot];
             let mut logit = match config.positional {
                 PositionalEncoding::Rope => {
                     apply_rope_scaled(&mut k, k_pos as f32 * config.rope_scale, ROPE_BASE);
@@ -172,7 +176,10 @@ mod tests {
             ..ModelConfig::tiny()
         };
         // Three cached tokens; the query matches token 1 exactly.
-        let cache = filled_cache(&config, &[unit(&config, 0), unit(&config, 5), unit(&config, 9)]);
+        let cache = filled_cache(
+            &config,
+            &[unit(&config, 0), unit(&config, 5), unit(&config, 9)],
+        );
         let mut policy = FullAttention::new();
         let mut ctx = AttentionContext {
             policy: &mut policy,
@@ -227,7 +234,12 @@ mod tests {
         let cache = {
             let mut c = filled_cache(
                 &config,
-                &[unit(&config, 1), unit(&config, 2), unit(&config, 1), unit(&config, 4)],
+                &[
+                    unit(&config, 1),
+                    unit(&config, 2),
+                    unit(&config, 1),
+                    unit(&config, 4),
+                ],
             );
             // Simulate an eviction that removed slot 1: original positions {0, 2, 3}.
             c.retain_slots(&[0, 2, 3]).unwrap();
@@ -254,7 +266,10 @@ mod tests {
             .zip(&remapped_probs)
             .map(|(a, b)| (a - b).abs())
             .sum();
-        assert!(diff > 1e-4, "position mode had no effect: {original:?} vs {remapped_probs:?}");
+        assert!(
+            diff > 1e-4,
+            "position mode had no effect: {original:?} vs {remapped_probs:?}"
+        );
     }
 
     #[test]

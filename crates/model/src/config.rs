@@ -6,19 +6,14 @@ use serde::{Deserialize, Serialize};
 
 /// How cached keys are assigned positions when positional information is applied at
 /// attention time — the paper's Table 3 "Org Pos" vs. "New Pos" ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum PositionMode {
     /// Keys keep the original position they had in the full sequence (the paper's
     /// best-performing choice).
+    #[default]
     Original,
     /// Keys are re-indexed by their slot in the compacted cache.
     Remapped,
-}
-
-impl Default for PositionMode {
-    fn default() -> Self {
-        PositionMode::Original
-    }
 }
 
 impl std::fmt::Display for PositionMode {

@@ -178,7 +178,7 @@ mod tests {
             &config,
             &weights.layers[0],
             0,
-            &vec![0.0; 3],
+            &[0.0; 3],
             0,
             &mut cache,
             &mut ctx,

@@ -194,8 +194,7 @@ impl<'m> InferenceEngine<'m> {
             SamplingStrategy::Greedy => argmax(logits).unwrap_or(0) as u32,
             SamplingStrategy::TopK { k, temperature } => {
                 let candidates = top_k_indices(logits, k.max(1));
-                let candidate_logits: Vec<f32> =
-                    candidates.iter().map(|&i| logits[i]).collect();
+                let candidate_logits: Vec<f32> = candidates.iter().map(|&i| logits[i]).collect();
                 let probs = softmax_with_temperature(&candidate_logits, temperature.max(1e-3));
                 let draw: f32 = rng.gen_range(0.0..1.0);
                 let mut acc = 0.0;
@@ -246,7 +245,13 @@ impl<'m> InferenceEngine<'m> {
             }
             let position = prompt.len() + step;
             logits = self
-                .forward(next, position, Phase::Generation, step, config.max_new_tokens)
+                .forward(
+                    next,
+                    position,
+                    Phase::Generation,
+                    step,
+                    config.max_new_tokens,
+                )
                 .expect("generation forward failed");
             self.evict_to_budget().expect("eviction failed");
         }
@@ -349,10 +354,10 @@ mod tests {
         let out = engine.generate(&prompt(40), &GenerationConfig::new(6));
         let budget = engine.budget().unwrap();
         assert_eq!(budget.capacity(), 20);
-        assert!(out
-            .final_cache_slots
-            .iter()
-            .all(|&n| n <= budget.capacity()),
+        assert!(
+            out.final_cache_slots
+                .iter()
+                .all(|&n| n <= budget.capacity()),
             "cache exceeded budget: {:?}",
             out.final_cache_slots
         );
@@ -368,7 +373,9 @@ mod tests {
                 PolicySpec::keyformer_default().build().unwrap(),
                 Some(CacheBudgetSpec::new(0.6, 0.3).unwrap()),
             );
-            engine.generate(&prompt(30), &GenerationConfig::new(8)).generated
+            engine
+                .generate(&prompt(30), &GenerationConfig::new(8))
+                .generated
         };
         assert_eq!(run(), run());
     }
@@ -392,7 +399,10 @@ mod tests {
         let gen = |seed: u64| {
             let mut engine = InferenceEngine::new(&model, PolicySpec::Full.build().unwrap(), None);
             engine
-                .generate(&prompt(16), &GenerationConfig::new(12).with_top_k(20, 10.0, seed))
+                .generate(
+                    &prompt(16),
+                    &GenerationConfig::new(12).with_top_k(20, 10.0, seed),
+                )
                 .generated
         };
         assert_eq!(gen(5), gen(5));
@@ -429,7 +439,7 @@ mod tests {
         assert!(engine.stats().is_none());
         engine.enable_stats();
         engine.generate(&prompt(8), &GenerationConfig::new(2));
-        assert!(engine.stats().unwrap().len() > 0);
+        assert!(!engine.stats().unwrap().is_empty());
     }
 
     #[test]
@@ -440,8 +450,12 @@ mod tests {
             PolicySpec::h2o_default().build().unwrap(),
             Some(CacheBudgetSpec::new(0.5, 0.3).unwrap()),
         );
-        let a = engine.generate(&prompt(24), &GenerationConfig::new(4)).generated;
-        let b = engine.generate(&prompt(24), &GenerationConfig::new(4)).generated;
+        let a = engine
+            .generate(&prompt(24), &GenerationConfig::new(4))
+            .generated;
+        let b = engine
+            .generate(&prompt(24), &GenerationConfig::new(4))
+            .generated;
         assert_eq!(a, b, "engine state must not leak across requests");
     }
 }

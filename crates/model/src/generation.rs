@@ -3,9 +3,10 @@
 use serde::{Deserialize, Serialize};
 
 /// How the next token is chosen from the logits.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum SamplingStrategy {
     /// Always pick the highest-logit token (the default; deterministic).
+    #[default]
     Greedy,
     /// Sample from the top-`k` logits at the given temperature, using the engine's
     /// seeded PRNG.
@@ -15,12 +16,6 @@ pub enum SamplingStrategy {
         /// Softmax temperature applied to the candidate logits.
         temperature: f32,
     },
-}
-
-impl Default for SamplingStrategy {
-    fn default() -> Self {
-        SamplingStrategy::Greedy
-    }
 }
 
 /// Configuration of a generation request.

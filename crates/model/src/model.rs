@@ -232,10 +232,7 @@ mod tests {
         let b = 87u32;
         let tokens = [5u32, a, b, 23, 61, 40, 19, a];
         let logits = forward_sequence(&model, &tokens);
-        let b_rank = logits
-            .iter()
-            .filter(|&&x| x > logits[b as usize])
-            .count();
+        let b_rank = logits.iter().filter(|&&x| x > logits[b as usize]).count();
         assert!(
             b_rank < 10,
             "successor token should rank near the top, rank {b_rank}"
@@ -257,10 +254,9 @@ mod tests {
     #[test]
     fn embed_respects_positional_family() {
         let rope = TransformerModel::new(ModelConfig::tiny()).unwrap();
-        let learned = TransformerModel::new(
-            ModelConfig::tiny().with_positional(PositionalEncoding::Learned),
-        )
-        .unwrap();
+        let learned =
+            TransformerModel::new(ModelConfig::tiny().with_positional(PositionalEncoding::Learned))
+                .unwrap();
         // RoPE models embed tokens position-independently.
         assert_eq!(rope.embed(3, 0), rope.embed(3, 10));
         // Learned-position models do not.

@@ -81,13 +81,13 @@ pub fn alibi_bias(slope: f32, query_pos: usize, key_pos: usize) -> f32 {
 /// position-unique, which is all the substrate needs from a "learned" embedding.
 pub fn learned_position_embedding(position: usize, d_model: usize) -> Vec<f32> {
     let mut out = vec![0.0; d_model];
-    for i in 0..d_model {
+    for (i, x) in out.iter_mut().enumerate() {
         let exponent = (2 * (i / 2)) as f32 / d_model as f32;
         let angle = position as f32 / ROPE_BASE.powf(exponent);
-        out[i] = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+        *x = if i % 2 == 0 { angle.sin() } else { angle.cos() };
         // Scale down so position information does not swamp token identity: trained
         // models keep positional signal in a low-energy subspace relative to content.
-        out[i] *= 0.02;
+        *x *= 0.02;
     }
     out
 }

@@ -175,8 +175,14 @@ mod tests {
         stats.record(record(0, 0, Phase::Prompt, vec![0.97, 0.01, 0.01, 0.01]));
         stats.record(record(1, 0, Phase::Prompt, vec![0.25, 0.25, 0.25, 0.25]));
         let sparsity = stats.sparsity_per_layer(0.1);
-        assert!(sparsity[0] > 0.5, "peaked layer should be sparse: {sparsity:?}");
-        assert!(sparsity[1] < 0.1, "uniform layer should be dense: {sparsity:?}");
+        assert!(
+            sparsity[0] > 0.5,
+            "peaked layer should be sparse: {sparsity:?}"
+        );
+        assert!(
+            sparsity[1] < 0.1,
+            "uniform layer should be dense: {sparsity:?}"
+        );
     }
 
     #[test]
@@ -186,7 +192,10 @@ mod tests {
         stats.record(record(0, 0, Phase::Prompt, vec![0.7, 0.1, 0.1, 0.05, 0.05]));
         let curve = stats.mass_cdf(&[0.2, 1.0], 4);
         assert!((curve[1].attention_mass - 1.0).abs() < 1e-6);
-        assert!(curve[0].attention_mass > 0.5, "top 20% should capture the peak");
+        assert!(
+            curve[0].attention_mass > 0.5,
+            "top 20% should capture the peak"
+        );
     }
 
     #[test]

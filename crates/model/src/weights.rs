@@ -116,8 +116,18 @@ impl ModelWeights {
                     .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                     .wrapping_add(l as u64 + 1);
                 LayerWeights {
-                    wq: scaled_identity_plus_noise(d, QK_IDENTITY_SCALE, PROJECTION_NOISE, ls ^ 0x01),
-                    wk: scaled_identity_plus_noise(d, QK_IDENTITY_SCALE, PROJECTION_NOISE, ls ^ 0x02),
+                    wq: scaled_identity_plus_noise(
+                        d,
+                        QK_IDENTITY_SCALE,
+                        PROJECTION_NOISE,
+                        ls ^ 0x01,
+                    ),
+                    wk: scaled_identity_plus_noise(
+                        d,
+                        QK_IDENTITY_SCALE,
+                        PROJECTION_NOISE,
+                        ls ^ 0x02,
+                    ),
                     wv: scaled_identity_plus_noise(d, 1.0, PROJECTION_NOISE, ls ^ 0x03),
                     wo: scaled_identity_plus_noise(d, 1.0, PROJECTION_NOISE, ls ^ 0x04),
                     ffn_in: xavier_matrix(config.d_ff, d, ls ^ 0x05),
@@ -191,8 +201,7 @@ mod tests {
     fn qk_projections_are_identity_dominated() {
         let w = ModelWeights::build(&ModelConfig::tiny());
         let wq = &w.layers[0].wq;
-        let diag_mean: f32 =
-            (0..wq.rows()).map(|i| wq.get(i, i)).sum::<f32>() / wq.rows() as f32;
+        let diag_mean: f32 = (0..wq.rows()).map(|i| wq.get(i, i)).sum::<f32>() / wq.rows() as f32;
         assert!(diag_mean > 1.5, "diag mean {diag_mean}");
     }
 
@@ -200,9 +209,8 @@ mod tests {
     fn learned_positional_table_only_for_learned_models() {
         let rope = ModelWeights::build(&ModelConfig::tiny());
         assert!(rope.position_embedding.is_empty());
-        let learned = ModelWeights::build(
-            &ModelConfig::tiny().with_positional(PositionalEncoding::Learned),
-        );
+        let learned =
+            ModelWeights::build(&ModelConfig::tiny().with_positional(PositionalEncoding::Learned));
         assert_eq!(learned.position_embedding.rows(), 512);
     }
 

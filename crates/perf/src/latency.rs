@@ -98,9 +98,9 @@ impl PerfModel {
     /// Peak resident bytes for a workload under a policy.
     pub fn peak_bytes(&self, workload: &Workload, policy: &CachePolicyCost) -> u64 {
         let peak_live = self.peak_live_cache_tokens(workload, policy) as usize;
-        let kv_peak =
-            self.model
-                .kv_cache_bytes(peak_live, workload.batch_size, workload.beam_size);
+        let kv_peak = self
+            .model
+            .kv_cache_bytes(peak_live, workload.batch_size, workload.beam_size);
         let workspace = (256usize * 1024 * 1024) as u64;
         self.model.weight_bytes() + kv_peak + workspace
     }
@@ -109,10 +109,11 @@ impl PerfModel {
     /// tokens are processed in parallel, weights are read once).
     fn estimate_prompt(&self, workload: &Workload) -> PhaseBreakdown {
         let seqs = workload.concurrent_sequences() as f64;
-        let flops: f64 = self.model.flops_per_token(workload.prompt_len / 2)
-            * workload.prompt_len as f64
-            * seqs;
-        let weight_time = self.accelerator.memory_time(self.model.weight_bytes() as f64);
+        let flops: f64 =
+            self.model.flops_per_token(workload.prompt_len / 2) * workload.prompt_len as f64 * seqs;
+        let weight_time = self
+            .accelerator
+            .memory_time(self.model.weight_bytes() as f64);
         let compute = self.accelerator.compute_time(flops);
         // Attention portion of prompt compute (quadratic term).
         let attn_flops = 2.0
@@ -140,13 +141,15 @@ impl PerfModel {
         }
         let seqs = workload.concurrent_sequences() as f64;
         let live = self.avg_live_cache_tokens(workload, policy);
-        let kv_bytes_per_step =
-            self.model.kv_bytes_per_token() as f64 * live * seqs;
+        let kv_bytes_per_step = self.model.kv_bytes_per_token() as f64 * live * seqs;
         let kv_time = self.accelerator.memory_time(kv_bytes_per_step) * steps;
-        let weight_time =
-            self.accelerator.memory_time(self.model.weight_bytes() as f64) * steps;
+        let weight_time = self
+            .accelerator
+            .memory_time(self.model.weight_bytes() as f64)
+            * steps;
         // Scaled dot product compute per step.
-        let sdp_flops = 2.0 * (2 * self.model.d_model) as f64 * live * self.model.num_layers as f64 * seqs;
+        let sdp_flops =
+            2.0 * (2 * self.model.d_model) as f64 * live * self.model.num_layers as f64 * seqs;
         let sdp = self.accelerator.compute_time(sdp_flops) * steps + kv_time * 0.0;
         let scoring = (sdp + kv_time) * policy.scoring_overhead;
         let other_flops = self.model.flops_per_token(0) * seqs;
@@ -174,7 +177,11 @@ impl PerfModel {
             generation,
             peak_bytes,
             fits_in_memory: fits,
-            tokens_per_second: if fits && total > 0.0 { tokens / total } else { 0.0 },
+            tokens_per_second: if fits && total > 0.0 {
+                tokens / total
+            } else {
+                0.0
+            },
         }
     }
 
@@ -246,8 +253,8 @@ mod tests {
         assert!(speedup > 1.3 && speedup < 3.5, "speedup {speedup}");
         // KV traffic itself is cut by well over 2x (full attention's cache keeps
         // growing during generation; Keyformer's stays at 50% of the prompt).
-        let kv_ratio = full.generation.kv_cache_data_movement_s
-            / kf.generation.kv_cache_data_movement_s;
+        let kv_ratio =
+            full.generation.kv_cache_data_movement_s / kf.generation.kv_cache_data_movement_s;
         assert!(kv_ratio > 2.0, "kv ratio {kv_ratio}");
     }
 
@@ -278,7 +285,9 @@ mod tests {
         // Table 1: 4096+4096 with batch 2 and beam 4 runs out of memory under full
         // attention but fits with Keyformer's 50% cache.
         let m = model();
-        let w = Workload::symmetric(4096).with_batch_size(8).with_beam_size(4);
+        let w = Workload::symmetric(4096)
+            .with_batch_size(8)
+            .with_beam_size(4);
         let full = m.estimate(&w, &CachePolicyCost::full_attention());
         let kf = m.estimate(&w, &CachePolicyCost::keyformer(0.5));
         assert!(!full.fits_in_memory);

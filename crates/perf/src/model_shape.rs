@@ -125,7 +125,11 @@ mod tests {
         // exceeds the model size.
         let m = ModelShape::mpt_7b();
         let kv_8k = m.kv_cache_bytes(8192 * 2, 1, 4);
-        assert!(kv_8k > m.weight_bytes(), "kv {kv_8k} weights {}", m.weight_bytes());
+        assert!(
+            kv_8k > m.weight_bytes(),
+            "kv {kv_8k} weights {}",
+            m.weight_bytes()
+        );
         let kv_512 = m.kv_cache_bytes(512, 1, 4);
         assert!(kv_512 < m.weight_bytes() / 10);
         // Linear growth in tokens and batch.

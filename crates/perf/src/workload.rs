@@ -120,7 +120,10 @@ mod tests {
     #[test]
     fn policy_cost_presets() {
         assert_eq!(CachePolicyCost::full_attention().cache_fraction, 1.0);
-        assert!(CachePolicyCost::keyformer(0.5).scoring_overhead > CachePolicyCost::h2o(0.5).scoring_overhead);
+        assert!(
+            CachePolicyCost::keyformer(0.5).scoring_overhead
+                > CachePolicyCost::h2o(0.5).scoring_overhead
+        );
         assert_eq!(CachePolicyCost::window(0.5).scoring_overhead, 0.0);
         assert_eq!(CachePolicyCost::keyformer(0.5).cache_fraction, 0.5);
     }

@@ -47,12 +47,7 @@ pub fn log_softmax(logits: &[f32]) -> Vec<f32> {
         return Vec::new();
     }
     let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let log_sum: f32 = logits
-        .iter()
-        .map(|&x| (x - max).exp())
-        .sum::<f32>()
-        .ln()
-        + max;
+    let log_sum: f32 = logits.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
     logits.iter().map(|&x| x - log_sum).collect()
 }
 

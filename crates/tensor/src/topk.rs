@@ -55,9 +55,7 @@ where
     let k = k.min(items.len());
     let mut order: Vec<usize> = (0..items.len()).collect();
     // Sort by descending score; ties by ascending index (stable ordering on index).
-    order.sort_by(|&a, &b| {
-        cmp_score(key(&items[b]), key(&items[a])).then_with(|| a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| cmp_score(key(&items[b]), key(&items[a])).then_with(|| a.cmp(&b)));
     let mut selected: Vec<usize> = order.into_iter().take(k).collect();
     selected.sort_unstable();
     selected

@@ -101,7 +101,14 @@ fn build_sample(vocab: &Vocabulary, spec: &DialogueSpec, seed: u64) -> Sample {
     // salient blocks across the early turns, then slice it into turns. The chain is
     // confined to the first 60% of the slab so the final turns carry no facts (a
     // pure recent-window policy must therefore lose them).
-    let slab = plant_chain(vocab, &chain, spec.body_len(), spec.filler_pool, 0.6, &mut rng);
+    let slab = plant_chain(
+        vocab,
+        &chain,
+        spec.body_len(),
+        spec.filler_pool,
+        0.6,
+        &mut rng,
+    );
     let mut prompt = Vec::with_capacity(spec.prompt_len());
     prompt.push(BOS);
     for (turn, chunk) in slab.chunks(spec.turn_len).enumerate() {

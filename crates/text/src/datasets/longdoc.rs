@@ -104,7 +104,14 @@ fn build_sample(vocab: &Vocabulary, spec: &LongDocSpec, seed: u64) -> Sample {
     let chain = Chain::sample(vocab, total_facts, &mut rng);
     // Facts are spread over ~90% of the report: the chain must be recovered from the
     // whole document, not from any single section.
-    let body = plant_chain(vocab, &chain, spec.body_len(), spec.filler_pool, 0.9, &mut rng);
+    let body = plant_chain(
+        vocab,
+        &chain,
+        spec.body_len(),
+        spec.filler_pool,
+        0.9,
+        &mut rng,
+    );
     let mut prompt = Vec::with_capacity(spec.prompt_len());
     prompt.push(BOS);
     prompt.extend_from_slice(&body);

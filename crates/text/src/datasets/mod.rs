@@ -57,14 +57,17 @@ pub struct Chain {
 impl Chain {
     /// Samples a chain of `num_facts` distinct cue/fact pairs.
     pub fn sample(vocab: &Vocabulary, num_facts: usize, rng: &mut StdRng) -> Chain {
-        assert!(num_facts as u32 <= NUM_CUES && num_facts as u32 <= NUM_FACTS);
+        assert!(num_facts as u32 <= NUM_CUES.min(NUM_FACTS));
         let mut cue_ids: Vec<u32> = (0..NUM_CUES).collect();
         let mut fact_ids: Vec<u32> = (0..NUM_FACTS).collect();
         cue_ids.shuffle(rng);
         fact_ids.shuffle(rng);
         Chain {
             cues: cue_ids[..num_facts].iter().map(|&i| vocab.cue(i)).collect(),
-            facts: fact_ids[..num_facts].iter().map(|&i| vocab.fact(i)).collect(),
+            facts: fact_ids[..num_facts]
+                .iter()
+                .map(|&i| vocab.fact(i))
+                .collect(),
         }
     }
 
@@ -110,7 +113,9 @@ impl Chain {
     /// Number of blocks planted for this chain (`m - 1`, or 1 for a single-link
     /// chain).
     pub fn num_blocks(&self) -> usize {
-        self.len().saturating_sub(1).max(usize::from(!self.is_empty()))
+        self.len()
+            .saturating_sub(1)
+            .max(usize::from(!self.is_empty()))
     }
 }
 
@@ -150,7 +155,11 @@ pub fn plant_chain(
     for i in 0..blocks {
         let base = i * stride;
         let slack = stride.saturating_sub(BLOCK);
-        let jitter = if slack > 1 { rng.gen_range(0..slack) } else { 0 };
+        let jitter = if slack > 1 {
+            rng.gen_range(0..slack)
+        } else {
+            0
+        };
         let pos = (base + jitter).min(body_len.saturating_sub(BLOCK));
         let filler_tail = [
             draw_filler(vocab, filler_pool, rng),
@@ -217,7 +226,10 @@ mod tests {
         assert_eq!(chain.len(), 8);
         assert!(!chain.is_empty());
         assert!(chain.cues.iter().all(|&c| vocab.role(c) == TokenRole::Cue));
-        assert!(chain.facts.iter().all(|&f| vocab.role(f) == TokenRole::Fact));
+        assert!(chain
+            .facts
+            .iter()
+            .all(|&f| vocab.role(f) == TokenRole::Fact));
     }
 
     #[test]

@@ -158,7 +158,10 @@ fn build_item(vocab: &Vocabulary, kind: TaskKind, rng: &mut StdRng) -> McItem {
     let num_choices = kind.num_choices();
     let mut fact_ids: Vec<u32> = (0..NUM_FACTS).collect();
     fact_ids.shuffle(rng);
-    let choices: Vec<u32> = fact_ids[..num_choices].iter().map(|&i| vocab.fact(i)).collect();
+    let choices: Vec<u32> = fact_ids[..num_choices]
+        .iter()
+        .map(|&i| vocab.fact(i))
+        .collect();
     let correct = rng.gen_range(0..num_choices);
 
     let len = kind.context_len();

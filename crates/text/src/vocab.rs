@@ -195,13 +195,20 @@ impl Vocabulary {
 mod tests {
     use super::*;
 
-    #[test]
-    fn ranges_do_not_overlap_and_fit_model_vocab() {
+    // Token-range layout invariants, checked at compile time.
+    const _: () = {
         assert!(FILLER_START >= 16);
         assert!(CUE_START > FILLER_START);
         assert!(FACT_START > CUE_START);
         assert!(VOCAB_SIZE <= 1024);
-        assert_eq!(VOCAB_SIZE, 1024, "vocabulary should use the full embedding table");
+    };
+
+    #[test]
+    fn ranges_do_not_overlap_and_fit_model_vocab() {
+        assert_eq!(
+            VOCAB_SIZE, 1024,
+            "vocabulary should use the full embedding table"
+        );
     }
 
     #[test]
@@ -217,7 +224,9 @@ mod tests {
     #[test]
     fn word_and_id_round_trip() {
         let v = Vocabulary::new();
-        for id in [PAD, BOS, EOS, SEP, TLDR, SPEAKER_A, QUESTION, ANSWER, ASPECT_SEP] {
+        for id in [
+            PAD, BOS, EOS, SEP, TLDR, SPEAKER_A, QUESTION, ANSWER, ASPECT_SEP,
+        ] {
             assert_eq!(v.id(&v.word(id)), Some(id));
         }
         for id in [

@@ -31,12 +31,19 @@ fn main() {
 
     for (label, policy, fraction) in [
         ("Full attention", PolicySpec::Full, None),
-        ("Keyformer @ 60%", PolicySpec::keyformer_default(), Some(0.6)),
+        (
+            "Keyformer @ 60%",
+            PolicySpec::keyformer_default(),
+            Some(0.6),
+        ),
         ("H2O @ 60%", PolicySpec::h2o_default(), Some(0.6)),
-        ("StreamingLLM @ 60%", PolicySpec::streaming_default(), Some(0.6)),
+        (
+            "StreamingLLM @ 60%",
+            PolicySpec::streaming_default(),
+            Some(0.6),
+        ),
     ] {
-        let budget =
-            fraction.map(|f| CacheBudgetSpec::with_fraction(f).expect("valid budget"));
+        let budget = fraction.map(|f| CacheBudgetSpec::with_fraction(f).expect("valid budget"));
         let mut engine =
             InferenceEngine::new(&model, policy.build().expect("valid policy"), budget);
         let output = engine.generate(

@@ -78,8 +78,7 @@ fn budgeted_policies_respect_the_cache_budget_exactly() {
         PolicySpec::streaming_default(),
     ] {
         let spec = CacheBudgetSpec::with_fraction(0.5).unwrap();
-        let mut engine =
-            InferenceEngine::new(&model, policy.build().unwrap(), Some(spec));
+        let mut engine = InferenceEngine::new(&model, policy.build().unwrap(), Some(spec));
         let out = engine.generate(&sample.prompt, &GenerationConfig::new(6));
         let budget = engine.budget().unwrap();
         for &slots in &out.final_cache_slots {
