@@ -10,6 +10,7 @@
 //! | `decode_step` | `attention_step` | Figures 1/9 (per-token cost vs. live cache size) |
 //! | `decode_step` | `end_to_end` | Figure 9 / Table 1 (full request latency per policy) |
 //! | `analytic_model` | `roofline` | Figures 1, 9, 10 and Table 1 on the A100 model |
+//! | `serving_step` | `serving_step` / `serving_burst` | continuous-batching scheduler cost (the `serve_throughput` experiment) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

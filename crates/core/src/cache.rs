@@ -157,6 +157,14 @@ impl LayerKvCache {
             .map(Matrix::byte_size)
             .sum()
     }
+
+    /// Bytes one retained token slot occupies in this layer (keys + values across
+    /// every head), independent of how many slots are currently live. This is the
+    /// unit the serving layer's memory-aware admission multiplies by a projected
+    /// slot count.
+    pub fn bytes_per_slot(&self) -> usize {
+        2 * self.num_heads * self.head_dim * std::mem::size_of::<f32>()
+    }
 }
 
 /// The full KV cache of a decoder stack: one [`LayerKvCache`] per layer.
@@ -212,6 +220,14 @@ impl KvCache {
     /// Total byte footprint summed over layers.
     pub fn byte_size(&self) -> usize {
         self.layers.iter().map(LayerKvCache::byte_size).sum()
+    }
+
+    /// Bytes one cached token occupies across every layer (keys + values). A cache
+    /// holding `n` slots in each layer occupies exactly `n * bytes_per_token()`
+    /// bytes; the serving layer uses this to project a request's steady-state
+    /// footprint before admitting it.
+    pub fn bytes_per_token(&self) -> usize {
+        self.layers.iter().map(LayerKvCache::bytes_per_slot).sum()
     }
 
     /// Clears every layer.
@@ -311,6 +327,26 @@ mod tests {
         let layer = filled_layer(4);
         // 2 heads * (keys + values) * 4 slots * 3 dims * 4 bytes.
         assert_eq!(layer.byte_size(), 2 * 2 * 4 * 3 * 4);
+    }
+
+    #[test]
+    fn bytes_per_slot_matches_observed_growth() {
+        let layer = filled_layer(4);
+        assert_eq!(layer.byte_size(), 4 * layer.bytes_per_slot());
+        let empty = LayerKvCache::new(2, 3);
+        assert_eq!(empty.bytes_per_slot(), layer.bytes_per_slot());
+    }
+
+    #[test]
+    fn bytes_per_token_sums_layers() {
+        let mut cache = KvCache::new(3, 2, 3);
+        assert_eq!(cache.bytes_per_token(), 3 * 2 * 2 * 3 * 4);
+        for l in 0..3 {
+            let k = vec![vec![0.0; 3], vec![0.0; 3]];
+            let v = k.clone();
+            cache.layer_mut(l).append(0, &k, &v).unwrap();
+        }
+        assert_eq!(cache.byte_size(), cache.bytes_per_token());
     }
 
     #[test]

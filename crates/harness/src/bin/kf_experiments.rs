@@ -9,9 +9,17 @@
 //!
 //! With no experiment names, every experiment runs (this takes a few minutes for the
 //! accuracy sweeps). Experiment names follow the paper: `fig1`, `fig3a` … `fig16`,
-//! `table1` … `table4`.
+//! `table1` … `table4`, plus the serving-layer `serve_throughput` experiment.
+//!
+//! Running `serve_throughput` additionally writes `BENCH_serving.json` (requests
+//! per scheduler step and mean KV bytes per policy) to the working directory, so
+//! CI can archive the serving-throughput trajectory as machine-readable data.
 
+use keyformer_harness::serving;
 use keyformer_harness::{run_experiment, ExperimentId};
+
+/// File the serving experiment's machine-readable summary is written to.
+const SERVING_JSON: &str = "BENCH_serving.json";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,7 +56,23 @@ fn main() {
     }
     for id in requested {
         eprintln!("running {id} (samples = {samples}) ...");
-        let table = run_experiment(id, samples);
+        let table = if id == ExperimentId::ServeThroughput {
+            let (table, summaries) = serving::serve_throughput_report(samples);
+            // A missing or stale JSON data point must fail loudly, not leave a
+            // previous run's file looking current.
+            let json = serde_json::to_string(&summaries).unwrap_or_else(|e| {
+                eprintln!("could not serialize serving summary: {e}");
+                std::process::exit(1);
+            });
+            if let Err(e) = std::fs::write(SERVING_JSON, json) {
+                eprintln!("could not write {SERVING_JSON}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {SERVING_JSON}");
+            table
+        } else {
+            run_experiment(id, samples)
+        };
         if csv {
             println!("# {}", table.title);
             println!("{}", table.render_csv());

@@ -17,6 +17,7 @@ pub mod analysis;
 pub mod perf;
 pub mod registry;
 pub mod report;
+pub mod serving;
 
 pub use registry::{run_experiment, ExperimentId};
 pub use report::Table;

@@ -2,7 +2,7 @@
 //! regenerate them.
 
 use crate::report::Table;
-use crate::{accuracy, analysis, perf};
+use crate::{accuracy, analysis, perf, serving};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of one paper table or figure.
@@ -44,6 +44,10 @@ pub enum ExperimentId {
     Table3,
     /// Table 4: logit-adjustment ablation.
     Table4,
+    /// Serving throughput: requests completed per scheduler step under a fixed
+    /// KV-byte pool (continuous batching; not a paper artefact — the end-to-end
+    /// systems consequence of Table 1's footprint reductions).
+    ServeThroughput,
 }
 
 impl ExperimentId {
@@ -51,8 +55,25 @@ impl ExperimentId {
     pub fn all() -> Vec<ExperimentId> {
         use ExperimentId::*;
         vec![
-            Fig1, Fig3a, Fig3b, Fig3c, Fig4, Fig5, Fig7, Fig8, Fig9, Fig10, Fig11, Fig12, Fig14,
-            Fig16, Table1, Table2, Table3, Table4,
+            Fig1,
+            Fig3a,
+            Fig3b,
+            Fig3c,
+            Fig4,
+            Fig5,
+            Fig7,
+            Fig8,
+            Fig9,
+            Fig10,
+            Fig11,
+            Fig12,
+            Fig14,
+            Fig16,
+            Table1,
+            Table2,
+            Table3,
+            Table4,
+            ServeThroughput,
         ]
     }
 
@@ -78,6 +99,7 @@ impl ExperimentId {
             "table2" => Table2,
             "table3" => Table3,
             "table4" => Table4,
+            "serve_throughput" => ServeThroughput,
             _ => return None,
         })
     }
@@ -104,6 +126,7 @@ impl ExperimentId {
             Table2 => "table2",
             Table3 => "table3",
             Table4 => "table4",
+            ServeThroughput => "serve_throughput",
         }
     }
 }
@@ -138,6 +161,7 @@ pub fn run_experiment(id: ExperimentId, samples: usize) -> Table {
         ExperimentId::Table2 => accuracy::table2(samples.max(4)),
         ExperimentId::Table3 => accuracy::table3(samples),
         ExperimentId::Table4 => accuracy::table4(samples),
+        ExperimentId::ServeThroughput => serving::serve_throughput(samples),
     }
 }
 
@@ -156,8 +180,9 @@ mod tests {
     }
 
     #[test]
-    fn all_lists_every_paper_artifact() {
-        assert_eq!(ExperimentId::all().len(), 18);
+    fn all_lists_every_experiment() {
+        // 18 paper artefacts + the serving-throughput experiment.
+        assert_eq!(ExperimentId::all().len(), 19);
     }
 
     #[test]

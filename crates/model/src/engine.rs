@@ -1,4 +1,4 @@
-//! The inference engine: couples a model, a KV-cache policy and a cache budget.
+//! The inference engine: a single-sequence facade over [`Session`].
 //!
 //! The engine reproduces the paper's two-phase inference procedure:
 //!
@@ -9,36 +9,31 @@
 //! 2. **Token generation** — each generated token attends over the reduced cache,
 //!    one new slot is appended per step and one slot is evicted, keeping the cache at
 //!    a constant size.
+//!
+//! All per-sequence state (KV cache, policy instance, budget, token history,
+//! statistics, peak bytes) lives in the embedded [`Session`]; the engine simply
+//! drives one session at a time through full requests. Multi-sequence callers —
+//! the continuous-batching scheduler in `keyformer-serve` — use [`Session`]
+//! directly and interleave its stepwise API across many sequences.
 
 use crate::config::ModelConfig;
-use crate::generation::{GenerationConfig, GenerationOutput, SamplingStrategy};
-use crate::model::{ForwardContext, TransformerModel};
+use crate::generation::{GenerationConfig, GenerationOutput};
+use crate::model::TransformerModel;
+use crate::session::Session;
 use crate::stats::AttentionStats;
 use keyformer_core::budget::{CacheBudget, CacheBudgetSpec};
 use keyformer_core::cache::KvCache;
-use keyformer_core::observation::Phase;
 use keyformer_core::policy::KvCachePolicy;
 use keyformer_core::CoreError;
-use keyformer_tensor::ops::{log_softmax, softmax_with_temperature};
-use keyformer_tensor::top_k_indices;
-use keyformer_tensor::vector::argmax;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+pub use crate::session::ContinuationScore;
 
 /// An inference session over one model with one eviction policy.
 ///
-/// The engine owns the KV cache, the policy and the token history; the model is
-/// borrowed immutably so many engines can share it (e.g. the harness sweeping
-/// policies in parallel).
+/// The engine owns the per-sequence [`Session`]; the model is borrowed immutably
+/// so many engines can share it (e.g. the harness sweeping policies in parallel).
 pub struct InferenceEngine<'m> {
-    model: &'m TransformerModel,
-    policy: Box<dyn KvCachePolicy>,
-    budget_spec: Option<CacheBudgetSpec>,
-    budget: Option<CacheBudget>,
-    cache: KvCache,
-    sequence: Vec<u32>,
-    stats: Option<AttentionStats>,
-    peak_cache_bytes: usize,
+    session: Session<'m>,
 }
 
 impl<'m> InferenceEngine<'m> {
@@ -50,114 +45,64 @@ impl<'m> InferenceEngine<'m> {
         budget_spec: Option<CacheBudgetSpec>,
     ) -> Self {
         InferenceEngine {
-            cache: model.empty_cache(),
-            model,
-            policy,
-            budget_spec,
-            budget: None,
-            sequence: Vec::new(),
-            stats: None,
-            peak_cache_bytes: 0,
+            session: Session::new(model, policy, budget_spec),
         }
+    }
+
+    /// The underlying per-sequence session.
+    pub fn session(&self) -> &Session<'m> {
+        &self.session
     }
 
     /// Enables attention-statistics collection (sparsity, CDFs, heat maps).
     pub fn enable_stats(&mut self) {
-        let c = self.model.config();
-        self.stats = Some(AttentionStats::new(c.num_layers, c.num_heads));
+        self.session.enable_stats();
     }
 
     /// Collected statistics, if enabled.
     pub fn stats(&self) -> Option<&AttentionStats> {
-        self.stats.as_ref()
+        self.session.stats()
     }
 
     /// The model configuration.
     pub fn config(&self) -> &ModelConfig {
-        self.model.config()
+        self.session.config()
     }
 
     /// The absolute budget derived from the last processed prompt, if any.
     pub fn budget(&self) -> Option<CacheBudget> {
-        self.budget
+        self.session.budget()
     }
 
     /// The live KV cache (read-only), exposing per-layer retained slots and their
     /// original positions for diagnostics and experiments.
     pub fn cache(&self) -> &KvCache {
-        &self.cache
+        self.session.cache()
     }
 
     /// Live KV-cache slot count per layer.
     pub fn cache_slots(&self) -> Vec<usize> {
-        self.cache.iter().map(|l| l.len()).collect()
+        self.session.cache_slots()
     }
 
     /// Current KV-cache byte footprint.
     pub fn cache_bytes(&self) -> usize {
-        self.cache.byte_size()
+        self.session.cache_bytes()
     }
 
     /// Peak KV-cache byte footprint observed so far.
     pub fn peak_cache_bytes(&self) -> usize {
-        self.peak_cache_bytes
+        self.session.peak_cache_bytes()
     }
 
     /// Full token history (prompt + generated) of the current session.
     pub fn sequence(&self) -> &[u32] {
-        &self.sequence
+        self.session.sequence()
     }
 
     /// Clears all per-sequence state, making the engine reusable for a new request.
     pub fn reset(&mut self) {
-        self.cache.clear();
-        self.policy.reset();
-        self.sequence.clear();
-        self.budget = None;
-        self.peak_cache_bytes = 0;
-        if let Some(stats) = &mut self.stats {
-            stats.clear();
-        }
-    }
-
-    fn forward(
-        &mut self,
-        token: u32,
-        position: usize,
-        phase: Phase,
-        step: usize,
-        total_steps: usize,
-    ) -> Result<Vec<f32>, CoreError> {
-        self.sequence.push(token);
-        let mut ctx = ForwardContext {
-            cache: &mut self.cache,
-            policy: self.policy.as_mut(),
-            stats: self.stats.as_mut(),
-            sequence: &self.sequence,
-            phase,
-            step,
-            total_steps,
-        };
-        let logits = self.model.forward_token(token, position, &mut ctx)?;
-        self.peak_cache_bytes = self.peak_cache_bytes.max(self.cache.byte_size());
-        Ok(logits)
-    }
-
-    fn evict_to_budget(&mut self) -> Result<(), CoreError> {
-        let Some(budget) = self.budget else {
-            return Ok(());
-        };
-        for layer in 0..self.cache.num_layers() {
-            let live = self.cache.layer(layer).len();
-            if !budget.needs_eviction(live) {
-                continue;
-            }
-            let retained = self.policy.select_retained(layer, live, &budget);
-            keyformer_core::cache::validate_selection(&retained, live)?;
-            self.cache.layer_mut(layer).retain_slots(&retained)?;
-            self.policy.compact(layer, &retained);
-        }
-        Ok(())
+        self.session.reset();
     }
 
     /// Processes a prompt: fills the KV cache, derives the absolute budget from the
@@ -173,40 +118,7 @@ impl<'m> InferenceEngine<'m> {
         prompt: &[u32],
         total_generation_steps: usize,
     ) -> Result<Vec<f32>, CoreError> {
-        if prompt.is_empty() {
-            return Err(CoreError::InvalidConfig("prompt must be non-empty".into()));
-        }
-        self.reset();
-        self.budget = self
-            .budget_spec
-            .map(|spec| spec.for_prompt_len(prompt.len()));
-        let mut logits = Vec::new();
-        for (pos, &tok) in prompt.iter().enumerate() {
-            logits = self.forward(tok, pos, Phase::Prompt, pos, total_generation_steps)?;
-        }
-        // The paper reduces the cache once at the end of the prompt phase.
-        self.evict_to_budget()?;
-        Ok(logits)
-    }
-
-    fn pick_token(logits: &[f32], config: &GenerationConfig, rng: &mut StdRng) -> u32 {
-        match config.sampling {
-            SamplingStrategy::Greedy => argmax(logits).unwrap_or(0) as u32,
-            SamplingStrategy::TopK { k, temperature } => {
-                let candidates = top_k_indices(logits, k.max(1));
-                let candidate_logits: Vec<f32> = candidates.iter().map(|&i| logits[i]).collect();
-                let probs = softmax_with_temperature(&candidate_logits, temperature.max(1e-3));
-                let draw: f32 = rng.gen_range(0.0..1.0);
-                let mut acc = 0.0;
-                for (i, &p) in probs.iter().enumerate() {
-                    acc += p;
-                    if draw <= acc {
-                        return candidates[i] as u32;
-                    }
-                }
-                *candidates.last().unwrap_or(&0) as u32
-            }
-        }
+        self.session.process_prompt(prompt, total_generation_steps)
     }
 
     /// Runs the full two-phase inference: prompt processing followed by
@@ -214,54 +126,27 @@ impl<'m> InferenceEngine<'m> {
     ///
     /// # Panics
     ///
-    /// Panics if the prompt is empty (programming error in the caller); use
-    /// [`InferenceEngine::process_prompt`] directly for fallible prompt handling.
+    /// Panics if the prompt is empty or otherwise rejected (programming error in
+    /// the caller); use [`InferenceEngine::try_generate`] for fallible handling —
+    /// the serving layer does.
     pub fn generate(&mut self, prompt: &[u32], config: &GenerationConfig) -> GenerationOutput {
-        let mut logits = self
-            .process_prompt(prompt, config.max_new_tokens)
-            .expect("prompt processing failed");
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut generated = Vec::with_capacity(config.max_new_tokens);
-        // Tokens the repetition penalty applies to: everything generated in this
-        // request plus the final prompt token (the task cue, which a summary should
-        // not parrot back).
-        let mut penalised: Vec<u32> = prompt.last().copied().into_iter().collect();
-        for step in 0..config.max_new_tokens {
-            if config.repetition_penalty > 0.0 {
-                for &tok in &penalised {
-                    if let Some(l) = logits.get_mut(tok as usize) {
-                        *l -= config.repetition_penalty;
-                    }
-                }
-            }
-            let next = Self::pick_token(&logits, config, &mut rng);
-            generated.push(next);
-            penalised.push(next);
-            if Some(next) == config.eos_token {
-                break;
-            }
-            if step + 1 == config.max_new_tokens {
-                break;
-            }
-            let position = prompt.len() + step;
-            logits = self
-                .forward(
-                    next,
-                    position,
-                    Phase::Generation,
-                    step,
-                    config.max_new_tokens,
-                )
-                .expect("generation forward failed");
-            self.evict_to_budget().expect("eviction failed");
-        }
-        GenerationOutput {
-            generated,
-            prompt_len: prompt.len(),
-            final_cache_slots: self.cache_slots(),
-            final_cache_bytes: self.cache_bytes(),
-            peak_cache_bytes: self.peak_cache_bytes,
-        }
+        self.try_generate(prompt, config)
+            .expect("generation failed")
+    }
+
+    /// Fallible variant of [`InferenceEngine::generate`]: every prompt, forward and
+    /// eviction error surfaces as a [`CoreError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on an empty or out-of-vocabulary
+    /// prompt, and propagates forward or eviction errors.
+    pub fn try_generate(
+        &mut self,
+        prompt: &[u32],
+        config: &GenerationConfig,
+    ) -> Result<GenerationOutput, CoreError> {
+        self.session.generate(prompt, config)
     }
 
     /// Scores a continuation under the model: returns the total and per-token mean
@@ -276,48 +161,7 @@ impl<'m> InferenceEngine<'m> {
         prompt: &[u32],
         continuation: &[u32],
     ) -> Result<ContinuationScore, CoreError> {
-        if continuation.is_empty() {
-            return Err(CoreError::InvalidConfig(
-                "continuation must be non-empty".into(),
-            ));
-        }
-        let mut logits = self.process_prompt(prompt, continuation.len())?;
-        let mut total_log_prob = 0.0f64;
-        for (step, &tok) in continuation.iter().enumerate() {
-            let log_probs = log_softmax(&logits);
-            total_log_prob += f64::from(log_probs[tok as usize]);
-            if step + 1 == continuation.len() {
-                break;
-            }
-            let position = prompt.len() + step;
-            logits = self.forward(tok, position, Phase::Generation, step, continuation.len())?;
-            self.evict_to_budget()?;
-        }
-        Ok(ContinuationScore {
-            total_log_prob,
-            tokens: continuation.len(),
-        })
-    }
-}
-
-/// Log-likelihood of a continuation, as returned by
-/// [`InferenceEngine::score_continuation`].
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ContinuationScore {
-    /// Sum of per-token log-probabilities (natural log).
-    pub total_log_prob: f64,
-    /// Number of continuation tokens scored.
-    pub tokens: usize,
-}
-
-impl ContinuationScore {
-    /// Length-normalised log-likelihood (mean per token).
-    pub fn per_token(&self) -> f64 {
-        if self.tokens == 0 {
-            0.0
-        } else {
-            self.total_log_prob / self.tokens as f64
-        }
+        self.session.score_continuation(prompt, continuation)
     }
 }
 
@@ -415,6 +259,43 @@ mod tests {
         let mut engine = InferenceEngine::new(&model, PolicySpec::Full.build().unwrap(), None);
         assert!(engine.process_prompt(&[], 4).is_err());
         assert!(engine.score_continuation(&prompt(4), &[]).is_err());
+    }
+
+    #[test]
+    fn try_generate_surfaces_errors_instead_of_panicking() {
+        let model = ModelFamily::Tiny.build(1);
+        let mut engine = InferenceEngine::new(&model, PolicySpec::Full.build().unwrap(), None);
+        assert!(engine.try_generate(&[], &GenerationConfig::new(4)).is_err());
+        let vocab = engine.config().vocab_size as u32;
+        assert!(engine
+            .try_generate(&[1, vocab + 3], &GenerationConfig::new(4))
+            .is_err());
+        // A good request on the same engine still works afterwards.
+        let out = engine
+            .try_generate(&prompt(8), &GenerationConfig::new(3))
+            .unwrap();
+        assert_eq!(out.generated.len(), 3);
+    }
+
+    #[test]
+    fn generate_and_try_generate_agree() {
+        let model = ModelFamily::Tiny.build(5);
+        let spec = CacheBudgetSpec::new(0.5, 0.3).unwrap();
+        let mut a = InferenceEngine::new(
+            &model,
+            PolicySpec::keyformer_default().build().unwrap(),
+            Some(spec),
+        );
+        let mut b = InferenceEngine::new(
+            &model,
+            PolicySpec::keyformer_default().build().unwrap(),
+            Some(spec),
+        );
+        let config = GenerationConfig::new(6);
+        assert_eq!(
+            a.generate(&prompt(24), &config),
+            b.try_generate(&prompt(24), &config).unwrap()
+        );
     }
 
     #[test]

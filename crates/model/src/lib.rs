@@ -46,6 +46,7 @@ pub mod families;
 pub mod generation;
 pub mod model;
 pub mod positional;
+pub mod session;
 pub mod stats;
 pub mod weights;
 
@@ -55,4 +56,5 @@ pub use families::ModelFamily;
 pub use generation::{GenerationConfig, GenerationOutput};
 pub use model::TransformerModel;
 pub use positional::PositionalEncoding;
+pub use session::{Session, SessionStep};
 pub use stats::AttentionStats;

@@ -1,0 +1,637 @@
+//! Per-sequence inference state, decoupled from any serving arrangement.
+//!
+//! A [`Session`] owns everything that belongs to *one* sequence being decoded
+//! against a shared [`TransformerModel`]: the KV cache, the eviction policy
+//! instance, the derived budget, the token history, optional attention statistics
+//! and the peak-byte watermark. The model itself is borrowed immutably, so any
+//! number of sessions can decode against the same weights concurrently — which is
+//! exactly what the continuous-batching scheduler in `keyformer-serve` does.
+//!
+//! Two drive styles are supported:
+//!
+//! * **One-shot** — [`Session::process_prompt`] / [`Session::score_continuation`],
+//!   used by the single-sequence [`crate::engine::InferenceEngine`] facade.
+//! * **Stepwise** — [`Session::begin`] runs the prefill phase and arms an
+//!   autoregressive decode; each [`Session::step`] then produces exactly one
+//!   token. A scheduler can interleave `step` calls across many sessions and
+//!   harvest each finished session with [`Session::take_output`]. The stepwise
+//!   path and [`crate::engine::InferenceEngine::generate`] share this single
+//!   implementation, so serving a request produces token-identical output to
+//!   running it alone.
+
+use crate::config::ModelConfig;
+use crate::generation::{GenerationConfig, GenerationOutput, SamplingStrategy};
+use crate::model::{ForwardContext, TransformerModel};
+use crate::stats::AttentionStats;
+use keyformer_core::budget::{CacheBudget, CacheBudgetSpec};
+use keyformer_core::cache::KvCache;
+use keyformer_core::observation::Phase;
+use keyformer_core::policy::KvCachePolicy;
+use keyformer_core::CoreError;
+use keyformer_tensor::ops::{log_softmax, softmax_with_temperature};
+use keyformer_tensor::top_k_indices;
+use keyformer_tensor::vector::argmax;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The sampling-loop state of an in-flight autoregressive decode.
+///
+/// Created by [`Session::begin`], advanced by [`Session::step`], consumed by
+/// [`Session::take_output`].
+#[derive(Debug)]
+struct DecodeState {
+    config: GenerationConfig,
+    rng: StdRng,
+    /// Logits over the next token (from the prefill or the last decode forward).
+    logits: Vec<f32>,
+    generated: Vec<u32>,
+    /// Distinct tokens the repetition penalty applies to: the final prompt token
+    /// (the task cue) plus every token generated so far. Kept deduplicated so each
+    /// distinct token is penalised exactly once per step, however often it occurs.
+    penalised: Vec<u32>,
+    prompt_len: usize,
+    step: usize,
+    finished: bool,
+}
+
+/// The result of one decode step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStep {
+    /// The token produced by this step.
+    pub token: u32,
+    /// `true` when this was the final step (EOS or the generation length was
+    /// reached); further [`Session::step`] calls will fail until a new
+    /// [`Session::begin`].
+    pub finished: bool,
+}
+
+/// All per-sequence state needed to decode one sequence against a shared model.
+pub struct Session<'m> {
+    model: &'m TransformerModel,
+    policy: Box<dyn KvCachePolicy>,
+    budget_spec: Option<CacheBudgetSpec>,
+    budget: Option<CacheBudget>,
+    cache: KvCache,
+    sequence: Vec<u32>,
+    stats: Option<AttentionStats>,
+    peak_cache_bytes: usize,
+    decode: Option<DecodeState>,
+}
+
+impl<'m> Session<'m> {
+    /// Creates a session. With `budget_spec = None` the cache is never reduced
+    /// regardless of the policy (useful for the full-attention baseline).
+    pub fn new(
+        model: &'m TransformerModel,
+        policy: Box<dyn KvCachePolicy>,
+        budget_spec: Option<CacheBudgetSpec>,
+    ) -> Self {
+        Session {
+            cache: model.empty_cache(),
+            model,
+            policy,
+            budget_spec,
+            budget: None,
+            sequence: Vec::new(),
+            stats: None,
+            peak_cache_bytes: 0,
+            decode: None,
+        }
+    }
+
+    /// Enables attention-statistics collection (sparsity, CDFs, heat maps).
+    pub fn enable_stats(&mut self) {
+        let c = self.model.config();
+        self.stats = Some(AttentionStats::new(c.num_layers, c.num_heads));
+    }
+
+    /// Collected statistics, if enabled.
+    pub fn stats(&self) -> Option<&AttentionStats> {
+        self.stats.as_ref()
+    }
+
+    /// The model this session decodes against.
+    pub fn model(&self) -> &'m TransformerModel {
+        self.model
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        self.model.config()
+    }
+
+    /// The absolute budget derived from the last processed prompt, if any.
+    pub fn budget(&self) -> Option<CacheBudget> {
+        self.budget
+    }
+
+    /// The budget specification this session derives per-prompt budgets from.
+    pub fn budget_spec(&self) -> Option<CacheBudgetSpec> {
+        self.budget_spec
+    }
+
+    /// The live KV cache (read-only), exposing per-layer retained slots and their
+    /// original positions for diagnostics and experiments.
+    pub fn cache(&self) -> &KvCache {
+        &self.cache
+    }
+
+    /// Live KV-cache slot count per layer.
+    pub fn cache_slots(&self) -> Vec<usize> {
+        self.cache.iter().map(|l| l.len()).collect()
+    }
+
+    /// Current KV-cache byte footprint.
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.byte_size()
+    }
+
+    /// Peak KV-cache byte footprint observed so far.
+    pub fn peak_cache_bytes(&self) -> usize {
+        self.peak_cache_bytes
+    }
+
+    /// Full token history (prompt + generated) of the current sequence.
+    pub fn sequence(&self) -> &[u32] {
+        &self.sequence
+    }
+
+    /// Clears all per-sequence state, making the session reusable for a new request.
+    pub fn reset(&mut self) {
+        self.cache.clear();
+        self.policy.reset();
+        self.sequence.clear();
+        self.budget = None;
+        self.peak_cache_bytes = 0;
+        self.decode = None;
+        if let Some(stats) = &mut self.stats {
+            stats.clear();
+        }
+    }
+
+    fn forward(
+        &mut self,
+        token: u32,
+        position: usize,
+        phase: Phase,
+        step: usize,
+        total_steps: usize,
+    ) -> Result<Vec<f32>, CoreError> {
+        self.sequence.push(token);
+        let mut ctx = ForwardContext {
+            cache: &mut self.cache,
+            policy: self.policy.as_mut(),
+            stats: self.stats.as_mut(),
+            sequence: &self.sequence,
+            phase,
+            step,
+            total_steps,
+        };
+        let logits = self.model.forward_token(token, position, &mut ctx)?;
+        self.peak_cache_bytes = self.peak_cache_bytes.max(self.cache.byte_size());
+        Ok(logits)
+    }
+
+    fn evict_to_budget(&mut self) -> Result<(), CoreError> {
+        let Some(budget) = self.budget else {
+            return Ok(());
+        };
+        for layer in 0..self.cache.num_layers() {
+            let live = self.cache.layer(layer).len();
+            if !budget.needs_eviction(live) {
+                continue;
+            }
+            let retained = self.policy.select_retained(layer, live, &budget);
+            keyformer_core::cache::validate_selection(&retained, live)?;
+            self.cache.layer_mut(layer).retain_slots(&retained)?;
+            self.policy.compact(layer, &retained);
+        }
+        Ok(())
+    }
+
+    /// Processes a prompt: fills the KV cache, derives the absolute budget from the
+    /// prompt length, reduces the cache to that budget and returns the logits of the
+    /// final prompt token (the distribution over the first generated token).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the prompt is empty or a shape error
+    /// occurs, and propagates policy-contract violations.
+    pub fn process_prompt(
+        &mut self,
+        prompt: &[u32],
+        total_generation_steps: usize,
+    ) -> Result<Vec<f32>, CoreError> {
+        if prompt.is_empty() {
+            return Err(CoreError::InvalidConfig("prompt must be non-empty".into()));
+        }
+        self.reset();
+        self.budget = self
+            .budget_spec
+            .map(|spec| spec.for_prompt_len(prompt.len()));
+        let mut logits = Vec::new();
+        for (pos, &tok) in prompt.iter().enumerate() {
+            logits = self.forward(tok, pos, Phase::Prompt, pos, total_generation_steps)?;
+        }
+        // The paper reduces the cache once at the end of the prompt phase.
+        self.evict_to_budget()?;
+        Ok(logits)
+    }
+
+    /// Runs the prefill phase for `prompt` and arms a stepwise decode of up to
+    /// `config.max_new_tokens` tokens. Any previous per-sequence state (including an
+    /// unfinished decode) is discarded — even when `begin` returns an error, so a
+    /// stale [`Session::take_output`] can never be misattributed to the new request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the prompt is empty or contains
+    /// out-of-vocabulary tokens, and propagates policy-contract violations.
+    pub fn begin(&mut self, prompt: &[u32], config: &GenerationConfig) -> Result<(), CoreError> {
+        self.reset();
+        for &tok in prompt {
+            if tok as usize >= self.model.config().vocab_size {
+                return Err(CoreError::InvalidConfig(format!(
+                    "prompt token {tok} outside vocabulary of {}",
+                    self.model.config().vocab_size
+                )));
+            }
+        }
+        let logits = self.process_prompt(prompt, config.max_new_tokens)?;
+        self.decode = Some(DecodeState {
+            config: *config,
+            rng: StdRng::seed_from_u64(config.seed),
+            logits,
+            generated: Vec::with_capacity(config.max_new_tokens),
+            penalised: prompt.last().copied().into_iter().collect(),
+            prompt_len: prompt.len(),
+            step: 0,
+            finished: config.max_new_tokens == 0,
+        });
+        Ok(())
+    }
+
+    /// `true` while a decode armed by [`Session::begin`] still has steps to run.
+    pub fn is_decoding(&self) -> bool {
+        self.decode.as_ref().is_some_and(|d| !d.finished)
+    }
+
+    /// `true` once an armed decode has produced its final token (and its output has
+    /// not yet been taken).
+    pub fn is_finished(&self) -> bool {
+        self.decode.as_ref().is_some_and(|d| d.finished)
+    }
+
+    /// Tokens generated so far by the current decode.
+    pub fn generated(&self) -> &[u32] {
+        self.decode.as_ref().map_or(&[], |d| d.generated.as_slice())
+    }
+
+    #[cfg(test)]
+    pub(crate) fn penalised_tokens(&self) -> &[u32] {
+        self.decode.as_ref().map_or(&[], |d| d.penalised.as_slice())
+    }
+
+    /// Runs exactly one decode step: applies the repetition penalty, samples the
+    /// next token, and (unless the decode just finished) runs the forward pass and
+    /// eviction that prepare the following step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if no decode is active (no
+    /// [`Session::begin`], or the decode already finished), and propagates forward
+    /// or eviction errors — after which the decode is left finished, so a scheduler
+    /// can retire the session without risking a panic.
+    pub fn step(&mut self) -> Result<SessionStep, CoreError> {
+        let Some(mut d) = self.decode.take() else {
+            return Err(CoreError::InvalidConfig(
+                "no active decode; call begin() first".into(),
+            ));
+        };
+        if d.finished {
+            self.decode = Some(d);
+            return Err(CoreError::InvalidConfig(
+                "decode already finished; take_output() and begin() again".into(),
+            ));
+        }
+        if d.config.repetition_penalty > 0.0 {
+            for &tok in &d.penalised {
+                if let Some(l) = d.logits.get_mut(tok as usize) {
+                    *l -= d.config.repetition_penalty;
+                }
+            }
+        }
+        let next = pick_token(&d.logits, &d.config, &mut d.rng);
+        d.generated.push(next);
+        if !d.penalised.contains(&next) {
+            d.penalised.push(next);
+        }
+        let step = d.step;
+        d.step += 1;
+        if Some(next) == d.config.eos_token || d.step == d.config.max_new_tokens {
+            d.finished = true;
+            self.decode = Some(d);
+            return Ok(SessionStep {
+                token: next,
+                finished: true,
+            });
+        }
+        let position = d.prompt_len + step;
+        let forwarded = self
+            .forward(
+                next,
+                position,
+                Phase::Generation,
+                step,
+                d.config.max_new_tokens,
+            )
+            .and_then(|logits| {
+                self.evict_to_budget()?;
+                Ok(logits)
+            });
+        match forwarded {
+            Ok(logits) => {
+                d.logits = logits;
+                self.decode = Some(d);
+                Ok(SessionStep {
+                    token: next,
+                    finished: false,
+                })
+            }
+            Err(e) => {
+                d.finished = true;
+                self.decode = Some(d);
+                Err(e)
+            }
+        }
+    }
+
+    /// Consumes the current decode (finished or not) into a [`GenerationOutput`].
+    /// Returns `None` if no decode was armed.
+    pub fn take_output(&mut self) -> Option<GenerationOutput> {
+        let d = self.decode.take()?;
+        Some(GenerationOutput {
+            generated: d.generated,
+            prompt_len: d.prompt_len,
+            final_cache_slots: self.cache_slots(),
+            final_cache_bytes: self.cache_bytes(),
+            peak_cache_bytes: self.peak_cache_bytes,
+        })
+    }
+
+    /// Runs the full two-phase inference — prefill plus autoregressive decode — by
+    /// driving the stepwise API to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on an empty or out-of-vocabulary
+    /// prompt, and propagates forward or eviction errors.
+    pub fn generate(
+        &mut self,
+        prompt: &[u32],
+        config: &GenerationConfig,
+    ) -> Result<GenerationOutput, CoreError> {
+        self.begin(prompt, config)?;
+        while self.is_decoding() {
+            self.step()?;
+        }
+        Ok(self
+            .take_output()
+            .expect("begin() armed a decode, so an output exists"))
+    }
+
+    /// Scores a continuation under the model: returns the total and per-token mean
+    /// log-likelihood of `continuation` given `prompt`, processing the prompt with
+    /// the session's cache policy. Used by the few-shot evaluation (Table 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if prompt or continuation is empty.
+    pub fn score_continuation(
+        &mut self,
+        prompt: &[u32],
+        continuation: &[u32],
+    ) -> Result<ContinuationScore, CoreError> {
+        if continuation.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "continuation must be non-empty".into(),
+            ));
+        }
+        let mut logits = self.process_prompt(prompt, continuation.len())?;
+        let mut total_log_prob = 0.0f64;
+        for (step, &tok) in continuation.iter().enumerate() {
+            let log_probs = log_softmax(&logits);
+            total_log_prob += f64::from(log_probs[tok as usize]);
+            if step + 1 == continuation.len() {
+                break;
+            }
+            let position = prompt.len() + step;
+            logits = self.forward(tok, position, Phase::Generation, step, continuation.len())?;
+            self.evict_to_budget()?;
+        }
+        Ok(ContinuationScore {
+            total_log_prob,
+            tokens: continuation.len(),
+        })
+    }
+}
+
+fn pick_token(logits: &[f32], config: &GenerationConfig, rng: &mut StdRng) -> u32 {
+    match config.sampling {
+        SamplingStrategy::Greedy => argmax(logits).unwrap_or(0) as u32,
+        SamplingStrategy::TopK { k, temperature } => {
+            let candidates = top_k_indices(logits, k.max(1));
+            let candidate_logits: Vec<f32> = candidates.iter().map(|&i| logits[i]).collect();
+            let probs = softmax_with_temperature(&candidate_logits, temperature.max(1e-3));
+            let draw: f32 = rng.gen_range(0.0..1.0);
+            let mut acc = 0.0;
+            for (i, &p) in probs.iter().enumerate() {
+                acc += p;
+                if draw <= acc {
+                    return candidates[i] as u32;
+                }
+            }
+            *candidates.last().unwrap_or(&0) as u32
+        }
+    }
+}
+
+/// Log-likelihood of a continuation, as returned by
+/// [`Session::score_continuation`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContinuationScore {
+    /// Sum of per-token log-probabilities (natural log).
+    pub total_log_prob: f64,
+    /// Number of continuation tokens scored.
+    pub tokens: usize,
+}
+
+impl ContinuationScore {
+    /// Length-normalised log-likelihood (mean per token).
+    pub fn per_token(&self) -> f64 {
+        if self.tokens == 0 {
+            0.0
+        } else {
+            self.total_log_prob / self.tokens as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::ModelFamily;
+    use keyformer_core::spec::PolicySpec;
+
+    fn prompt(len: usize) -> Vec<u32> {
+        (0..len).map(|i| ((i * 13 + 5) % 120) as u32).collect()
+    }
+
+    #[test]
+    fn stepwise_decode_matches_one_shot_generate() {
+        let model = ModelFamily::Tiny.build(6);
+        let spec = CacheBudgetSpec::new(0.5, 0.3).unwrap();
+        let config = GenerationConfig::new(7);
+        let one_shot = Session::new(
+            &model,
+            PolicySpec::keyformer_default().build().unwrap(),
+            Some(spec),
+        )
+        .generate(&prompt(28), &config)
+        .unwrap();
+        let mut stepwise = Session::new(
+            &model,
+            PolicySpec::keyformer_default().build().unwrap(),
+            Some(spec),
+        );
+        stepwise.begin(&prompt(28), &config).unwrap();
+        let mut tokens = Vec::new();
+        while stepwise.is_decoding() {
+            tokens.push(stepwise.step().unwrap().token);
+        }
+        let out = stepwise.take_output().unwrap();
+        assert_eq!(out.generated, tokens);
+        assert_eq!(out, one_shot);
+    }
+
+    #[test]
+    fn step_without_begin_is_an_error() {
+        let model = ModelFamily::Tiny.build(1);
+        let mut session = Session::new(&model, PolicySpec::Full.build().unwrap(), None);
+        assert!(session.step().is_err());
+        assert!(session.take_output().is_none());
+    }
+
+    #[test]
+    fn step_after_finish_is_an_error_but_output_survives() {
+        let model = ModelFamily::Tiny.build(1);
+        let mut session = Session::new(&model, PolicySpec::Full.build().unwrap(), None);
+        session
+            .begin(&prompt(10), &GenerationConfig::new(2))
+            .unwrap();
+        session.step().unwrap();
+        let last = session.step().unwrap();
+        assert!(last.finished);
+        assert!(session.is_finished());
+        assert!(session.step().is_err());
+        assert_eq!(session.take_output().unwrap().generated.len(), 2);
+    }
+
+    #[test]
+    fn zero_token_decode_finishes_immediately() {
+        let model = ModelFamily::Tiny.build(1);
+        let mut session = Session::new(&model, PolicySpec::Full.build().unwrap(), None);
+        session
+            .begin(&prompt(6), &GenerationConfig::new(0))
+            .unwrap();
+        assert!(!session.is_decoding());
+        assert!(session.is_finished());
+        assert!(session.take_output().unwrap().generated.is_empty());
+    }
+
+    #[test]
+    fn out_of_vocabulary_prompt_is_rejected_not_panicked() {
+        let model = ModelFamily::Tiny.build(1);
+        let vocab = model.config().vocab_size as u32;
+        let mut session = Session::new(&model, PolicySpec::Full.build().unwrap(), None);
+        assert!(session
+            .begin(&[3, vocab + 7], &GenerationConfig::new(2))
+            .is_err());
+        assert!(session
+            .generate(&[vocab], &GenerationConfig::new(1))
+            .is_err());
+    }
+
+    #[test]
+    fn penalised_tokens_stay_deduplicated() {
+        let model = ModelFamily::Tiny.build(2);
+        let mut session = Session::new(&model, PolicySpec::Full.build().unwrap(), None);
+        // With the penalty disabled the untrained substrate's tied readout happily
+        // repeats tokens, so the bookkeeping sees duplicates.
+        session
+            .begin(
+                &prompt(12),
+                &GenerationConfig::new(12).with_repetition_penalty(0.0),
+            )
+            .unwrap();
+        while session.is_decoding() {
+            session.step().unwrap();
+        }
+        let mut seen = session.penalised_tokens().to_vec();
+        let generated = session.generated().to_vec();
+        let distinct = |mut v: Vec<u32>| {
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        assert!(
+            distinct(generated.clone()) < generated.len(),
+            "expected repeats under zero penalty, got {generated:?}"
+        );
+        let len = seen.len();
+        assert_eq!(distinct(std::mem::take(&mut seen)), len);
+    }
+
+    #[test]
+    fn failed_begin_discards_the_previous_request() {
+        let model = ModelFamily::Tiny.build(4);
+        let mut session = Session::new(&model, PolicySpec::Full.build().unwrap(), None);
+        session
+            .begin(&prompt(8), &GenerationConfig::new(2))
+            .unwrap();
+        while session.is_decoding() {
+            session.step().unwrap();
+        }
+        // A rejected follow-up request must not leave the finished decode
+        // harvestable as if it belonged to the new request.
+        assert!(session.begin(&[], &GenerationConfig::new(2)).is_err());
+        assert!(!session.is_finished());
+        assert!(session.take_output().is_none());
+        let vocab = model.config().vocab_size as u32;
+        session
+            .begin(&prompt(8), &GenerationConfig::new(1))
+            .unwrap();
+        assert!(session
+            .begin(&[vocab + 1], &GenerationConfig::new(2))
+            .is_err());
+        assert!(session.take_output().is_none());
+        assert!(session.sequence().is_empty());
+    }
+
+    #[test]
+    fn session_reuse_after_take_output() {
+        let model = ModelFamily::Tiny.build(3);
+        let mut session = Session::new(
+            &model,
+            PolicySpec::h2o_default().build().unwrap(),
+            Some(CacheBudgetSpec::new(0.5, 0.3).unwrap()),
+        );
+        let a = session
+            .generate(&prompt(20), &GenerationConfig::new(4))
+            .unwrap();
+        let b = session
+            .generate(&prompt(20), &GenerationConfig::new(4))
+            .unwrap();
+        assert_eq!(a.generated, b.generated);
+    }
+}

@@ -1,0 +1,49 @@
+//! # keyformer-serve
+//!
+//! A continuous-batching serving layer over the `keyformer-model` substrate: many
+//! concurrent sequences decode against one shared [`TransformerModel`], each with
+//! its own per-sequence [`Session`] (KV cache, policy instance, budget).
+//!
+//! This is the layer where the paper's headline claim becomes end-to-end
+//! observable: Keyformer shrinks each sequence's KV footprint, the byte-pool
+//! admission control turns that into *more concurrent sequences*, and the batched
+//! scheduler turns concurrency into *more requests completed per decode-step
+//! budget* (Adnan et al., MLSys 2024, §6.3). See `docs/SERVING.md` for queue
+//! semantics and the throughput experiment.
+//!
+//! ```
+//! use keyformer_core::{CacheBudgetSpec, PolicySpec};
+//! use keyformer_model::families::ModelFamily;
+//! use keyformer_model::generation::GenerationConfig;
+//! use keyformer_serve::{Request, Server, ServerConfig};
+//!
+//! let model = ModelFamily::Tiny.build(7);
+//! let pool = 64 * model.empty_cache().bytes_per_token();
+//! let mut server = Server::new(
+//!     &model,
+//!     ServerConfig::new(
+//!         PolicySpec::keyformer_default(),
+//!         Some(CacheBudgetSpec::with_fraction(0.5)?),
+//!         pool,
+//!     ),
+//! )?;
+//! for i in 0..4 {
+//!     let prompt: Vec<u32> = (0..24).map(|t| (t * 7 + i) % 100).collect();
+//!     server.submit(Request::new(u64::from(i), prompt, GenerationConfig::new(6)));
+//! }
+//! server.run(256);
+//! assert_eq!(server.completions().len(), 4);
+//! # Ok::<(), keyformer_core::CoreError>(())
+//! ```
+//!
+//! [`TransformerModel`]: keyformer_model::model::TransformerModel
+//! [`Session`]: keyformer_model::session::Session
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod request;
+pub mod server;
+
+pub use request::{Completion, FailedRequest, FailureReason, Request, RequestId};
+pub use server::{Server, ServerConfig, ServerStats};

@@ -1,0 +1,162 @@
+//! Request and completion types of the serving layer.
+
+use keyformer_core::CoreError;
+use keyformer_model::generation::{GenerationConfig, GenerationOutput};
+use serde::{Deserialize, Serialize};
+
+/// Opaque identifier of one serving request, unique within a [`crate::Server`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// Wraps a raw id.
+    pub fn new(raw: u64) -> Self {
+        RequestId(raw)
+    }
+
+    /// The raw numeric id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req-{}", self.0)
+    }
+}
+
+/// One generation request: a prompt plus its generation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Caller-chosen identifier; echoed back in the completion.
+    pub id: RequestId,
+    /// Prompt token ids.
+    pub prompt: Vec<u32>,
+    /// Sampling / length configuration, including the per-request seed.
+    pub config: GenerationConfig,
+}
+
+impl Request {
+    /// Convenience constructor.
+    pub fn new(id: u64, prompt: Vec<u32>, config: GenerationConfig) -> Self {
+        Request {
+            id: RequestId::new(id),
+            prompt,
+            config,
+        }
+    }
+}
+
+/// A successfully finished request, with its scheduling telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The request this completion answers.
+    pub id: RequestId,
+    /// The generation result (tokens, final/peak cache bytes).
+    pub output: GenerationOutput,
+    /// Scheduler step at which the request was submitted.
+    pub submitted_step: usize,
+    /// Scheduler step at which the request was admitted (prefill ran).
+    pub admitted_step: usize,
+    /// Scheduler step at which the final token was produced.
+    pub completed_step: usize,
+}
+
+impl Completion {
+    /// End-to-end latency in scheduler steps (queueing + decode).
+    pub fn latency_steps(&self) -> usize {
+        self.completed_step - self.submitted_step
+    }
+
+    /// Steps spent waiting in the admission queue.
+    pub fn queue_steps(&self) -> usize {
+        self.admitted_step - self.submitted_step
+    }
+}
+
+/// A request the scheduler retired without completing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedRequest {
+    /// The failed request's id.
+    pub id: RequestId,
+    /// Why it failed.
+    pub reason: FailureReason,
+    /// Scheduler step at which it was retired.
+    pub step: usize,
+}
+
+/// Why a request was retired without a completion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureReason {
+    /// The request's projected KV footprint exceeds the whole pool, so it could
+    /// never be admitted.
+    TooLargeForPool {
+        /// The request's projected steady-state KV bytes.
+        projected_bytes: usize,
+        /// The server's pool size.
+        pool_bytes: usize,
+    },
+    /// Prefill or decode returned an error (bad prompt, policy-contract
+    /// violation, ...).
+    Engine(CoreError),
+}
+
+impl std::fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureReason::TooLargeForPool {
+                projected_bytes,
+                pool_bytes,
+            } => write!(
+                f,
+                "projected {projected_bytes} KV bytes exceed the {pool_bytes}-byte pool"
+            ),
+            FailureReason::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ids_are_ordered_and_display() {
+        assert!(RequestId::new(1) < RequestId::new(2));
+        assert_eq!(RequestId::new(7).raw(), 7);
+        assert_eq!(RequestId::new(7).to_string(), "req-7");
+    }
+
+    #[test]
+    fn completion_latency_accounting() {
+        let c = Completion {
+            id: RequestId::new(0),
+            output: GenerationOutput {
+                generated: vec![1],
+                prompt_len: 4,
+                final_cache_slots: vec![4],
+                final_cache_bytes: 64,
+                peak_cache_bytes: 64,
+            },
+            submitted_step: 2,
+            admitted_step: 5,
+            completed_step: 9,
+        };
+        assert_eq!(c.latency_steps(), 7);
+        assert_eq!(c.queue_steps(), 3);
+    }
+
+    #[test]
+    fn failure_reasons_render() {
+        let too_large = FailureReason::TooLargeForPool {
+            projected_bytes: 10,
+            pool_bytes: 5,
+        };
+        assert!(too_large.to_string().contains("exceed"));
+        let engine = FailureReason::Engine(CoreError::InvalidConfig("boom".into()));
+        assert!(engine.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,589 @@
+//! The continuous-batching scheduler.
+//!
+//! [`Server`] owns a FIFO admission queue and a set of running [`Session`]s that
+//! all decode against one shared [`TransformerModel`]. Scheduling is
+//! iteration-level (Orca-style): every call to [`Server::step`] is one *batched
+//! decode iteration* —
+//!
+//! 1. **Admission.** Requests are popped from the queue head while the aggregate
+//!    *projected* KV footprint of the running set plus the candidate fits the
+//!    configured byte pool ([`ServerConfig::pool_bytes`]). Admission is strictly
+//!    FIFO: a too-large head blocks the queue (no reordering), which keeps
+//!    completion order deterministic and starvation-free. At most
+//!    [`ServerConfig::prefills_per_step`] prefills run per step, modelling the
+//!    prefill cost of a newly admitted request.
+//! 2. **Decode.** Every running session advances by exactly one token, in
+//!    admission order (round-robin at the granularity of a batched step).
+//!    Finished sessions are retired into [`Completion`]s; failing sessions are
+//!    retired into [`FailedRequest`]s — the scheduler never panics on a bad
+//!    request.
+//!
+//! The *projected* footprint of a request is its steady-state decode footprint:
+//! with a [`CacheBudgetSpec`], the per-layer capacity derived from the prompt
+//! length; without one, the full `prompt + max_new_tokens` slots. Prefill
+//! transiently exceeds the steady state for budgeted policies (the cache fills to
+//! the whole prompt before the end-of-prompt eviction), exactly as in the paper;
+//! size the pool with that headroom in mind (see `docs/SERVING.md`).
+//!
+//! This is what turns Keyformer's reduced KV footprint into throughput: at a
+//! fixed pool, a 50% budget admits roughly twice the concurrent sequences, so
+//! each batched step completes roughly twice the requests.
+
+use crate::request::{Completion, FailedRequest, FailureReason, Request, RequestId};
+use keyformer_core::budget::CacheBudgetSpec;
+use keyformer_core::spec::PolicySpec;
+use keyformer_core::CoreError;
+use keyformer_model::model::TransformerModel;
+use keyformer_model::session::Session;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Static configuration of a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Cache policy every admitted session runs.
+    pub policy: PolicySpec,
+    /// Relative KV budget applied per session (`None` = never evict).
+    pub budget: Option<CacheBudgetSpec>,
+    /// Aggregate projected-KV-byte pool shared by all running sessions.
+    pub pool_bytes: usize,
+    /// Hard cap on concurrently running sessions (defaults to unlimited).
+    pub max_concurrency: usize,
+    /// Prefills executed per scheduler step (defaults to 1).
+    pub prefills_per_step: usize,
+}
+
+impl ServerConfig {
+    /// A configuration with the given policy, per-session budget and byte pool,
+    /// unlimited concurrency and one prefill per step.
+    pub fn new(policy: PolicySpec, budget: Option<CacheBudgetSpec>, pool_bytes: usize) -> Self {
+        ServerConfig {
+            policy,
+            budget,
+            pool_bytes,
+            max_concurrency: usize::MAX,
+            prefills_per_step: 1,
+        }
+    }
+
+    /// Caps the number of concurrently running sessions.
+    pub fn with_max_concurrency(mut self, max: usize) -> Self {
+        self.max_concurrency = max.max(1);
+        self
+    }
+
+    /// Sets how many prefills may run per scheduler step.
+    pub fn with_prefills_per_step(mut self, prefills: usize) -> Self {
+        self.prefills_per_step = prefills.max(1);
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the pool is empty or the policy
+    /// spec itself does not build.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.pool_bytes == 0 {
+            return Err(CoreError::InvalidConfig(
+                "serving pool must be at least 1 byte".into(),
+            ));
+        }
+        self.policy.build().map(|_| ())
+    }
+}
+
+struct Pending {
+    request: Request,
+    submitted_step: usize,
+}
+
+struct Running<'m> {
+    id: RequestId,
+    session: Session<'m>,
+    projected_bytes: usize,
+    submitted_step: usize,
+    admitted_step: usize,
+}
+
+/// Aggregate counters of one server's lifetime, used by the throughput
+/// experiment and the serving bench.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ServerStats {
+    /// Scheduler steps executed.
+    pub steps: usize,
+    /// Token-level decode steps executed (sum of batch sizes over steps).
+    pub decode_steps: usize,
+    /// Prefills executed.
+    pub prefills: usize,
+    /// Sum over steps of the live KV bytes at the end of the step (for means).
+    pub live_kv_byte_steps: u64,
+    /// Largest live KV byte footprint observed at the end of any step.
+    pub peak_live_kv_bytes: usize,
+    /// Largest number of concurrently running sessions observed.
+    pub peak_concurrency: usize,
+}
+
+impl ServerStats {
+    /// Mean live KV bytes at the end of a scheduler step.
+    pub fn mean_live_kv_bytes(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.live_kv_byte_steps as f64 / self.steps as f64
+        }
+    }
+
+    /// Mean decode batch size (token steps per scheduler step).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.decode_steps as f64 / self.steps as f64
+        }
+    }
+}
+
+/// A continuous-batching server over one shared model.
+pub struct Server<'m> {
+    model: &'m TransformerModel,
+    config: ServerConfig,
+    bytes_per_token: usize,
+    queue: VecDeque<Pending>,
+    running: Vec<Running<'m>>,
+    completed: Vec<Completion>,
+    failed: Vec<FailedRequest>,
+    step: usize,
+    stats: ServerStats,
+}
+
+impl<'m> Server<'m> {
+    /// Creates a server over `model` with the given scheduling configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(model: &'m TransformerModel, config: ServerConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        Ok(Server {
+            bytes_per_token: model.empty_cache().bytes_per_token(),
+            model,
+            config,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            completed: Vec::new(),
+            failed: Vec::new(),
+            step: 0,
+            stats: ServerStats::default(),
+        })
+    }
+
+    /// The scheduling configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Bytes one cached token occupies across the model's layers.
+    pub fn bytes_per_token(&self) -> usize {
+        self.bytes_per_token
+    }
+
+    /// Steady-state projected KV footprint of `request` under this server's
+    /// budget: the per-layer slot capacity a running decode settles at, times the
+    /// per-token byte cost.
+    pub fn projected_kv_bytes(&self, request: &Request) -> usize {
+        let slots = match self.config.budget {
+            Some(spec) => spec.for_prompt_len(request.prompt.len()).capacity(),
+            // Unbudgeted caches grow to the full sequence (the final generated
+            // token is never fed back, hence the saturating decrement).
+            None => request.prompt.len() + request.config.max_new_tokens.saturating_sub(1),
+        };
+        slots * self.bytes_per_token
+    }
+
+    /// Sum of projected footprints of the running sessions — the quantity
+    /// admission holds below [`ServerConfig::pool_bytes`].
+    pub fn reserved_bytes(&self) -> usize {
+        self.running.iter().map(|r| r.projected_bytes).sum()
+    }
+
+    /// Actual live KV bytes across running sessions right now.
+    pub fn live_kv_bytes(&self) -> usize {
+        self.running.iter().map(|r| r.session.cache_bytes()).sum()
+    }
+
+    /// Number of requests waiting in the admission queue.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of running sessions.
+    pub fn running(&self) -> usize {
+        self.running.len()
+    }
+
+    /// `true` once no work remains (queue empty, nothing running).
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.running.is_empty()
+    }
+
+    /// Scheduler steps executed so far.
+    pub fn steps(&self) -> usize {
+        self.step
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Completed requests, in completion order.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completed
+    }
+
+    /// Requests retired without completing, in retirement order.
+    pub fn failures(&self) -> &[FailedRequest] {
+        &self.failed
+    }
+
+    /// Enqueues a request. Requests are admitted in submission (FIFO) order.
+    pub fn submit(&mut self, request: Request) {
+        self.queue.push_back(Pending {
+            request,
+            submitted_step: self.step,
+        });
+    }
+
+    fn admit(&mut self) {
+        let mut prefills = 0;
+        while prefills < self.config.prefills_per_step
+            && self.running.len() < self.config.max_concurrency
+        {
+            let Some(front) = self.queue.front() else {
+                break;
+            };
+            let projected = self.projected_kv_bytes(&front.request);
+            if projected > self.config.pool_bytes {
+                // Can never fit, even alone: retire instead of deadlocking the
+                // FIFO queue behind it.
+                let pending = self.queue.pop_front().expect("front exists");
+                self.failed.push(FailedRequest {
+                    id: pending.request.id,
+                    reason: FailureReason::TooLargeForPool {
+                        projected_bytes: projected,
+                        pool_bytes: self.config.pool_bytes,
+                    },
+                    step: self.step,
+                });
+                continue;
+            }
+            if self.reserved_bytes() + projected > self.config.pool_bytes {
+                // FIFO: the head waits for memory; nothing behind it may jump.
+                break;
+            }
+            let pending = self.queue.pop_front().expect("front exists");
+            let policy = match self.config.policy.build() {
+                Ok(policy) => policy,
+                Err(e) => {
+                    // Unreachable after validate(), but a config error must not
+                    // take the server down.
+                    self.failed.push(FailedRequest {
+                        id: pending.request.id,
+                        reason: FailureReason::Engine(e),
+                        step: self.step,
+                    });
+                    continue;
+                }
+            };
+            let mut session = Session::new(self.model, policy, self.config.budget);
+            match session.begin(&pending.request.prompt, &pending.request.config) {
+                Ok(()) => {
+                    // Only a successful begin ran the forward passes, so only
+                    // then does the request consume this step's prefill slot.
+                    prefills += 1;
+                    self.stats.prefills += 1;
+                    self.running.push(Running {
+                        id: pending.request.id,
+                        session,
+                        projected_bytes: projected,
+                        submitted_step: pending.submitted_step,
+                        admitted_step: self.step,
+                    })
+                }
+                Err(e) => self.failed.push(FailedRequest {
+                    id: pending.request.id,
+                    reason: FailureReason::Engine(e),
+                    step: self.step,
+                }),
+            }
+        }
+    }
+
+    fn decode_round(&mut self) -> usize {
+        let mut executed = 0;
+        let mut i = 0;
+        while i < self.running.len() {
+            let running = &mut self.running[i];
+            if running.session.is_decoding() {
+                match running.session.step() {
+                    Ok(_) => {
+                        executed += 1;
+                        self.stats.decode_steps += 1;
+                    }
+                    Err(e) => {
+                        let running = self.running.remove(i);
+                        self.failed.push(FailedRequest {
+                            id: running.id,
+                            reason: FailureReason::Engine(e),
+                            step: self.step,
+                        });
+                        continue;
+                    }
+                }
+            }
+            if self.running[i].session.is_decoding() {
+                i += 1;
+            } else {
+                let mut done = self.running.remove(i);
+                let output = done
+                    .session
+                    .take_output()
+                    .expect("finished session has an output");
+                self.completed.push(Completion {
+                    id: done.id,
+                    output,
+                    submitted_step: done.submitted_step,
+                    admitted_step: done.admitted_step,
+                    completed_step: self.step,
+                });
+            }
+        }
+        executed
+    }
+
+    /// Runs one batched scheduler step (admission + one decode token for every
+    /// running session) and returns the number of token-level decode steps
+    /// executed.
+    pub fn step(&mut self) -> usize {
+        self.step += 1;
+        self.admit();
+        let executed = self.decode_round();
+        self.stats.steps += 1;
+        self.stats.peak_concurrency = self.stats.peak_concurrency.max(self.running.len());
+        let live = self.live_kv_bytes();
+        self.stats.live_kv_byte_steps += live as u64;
+        self.stats.peak_live_kv_bytes = self.stats.peak_live_kv_bytes.max(live);
+        executed
+    }
+
+    /// Runs up to `max_steps` scheduler steps, stopping early once idle.
+    /// Returns the number of steps actually executed.
+    pub fn run(&mut self, max_steps: usize) -> usize {
+        let mut executed = 0;
+        while executed < max_steps && !self.is_idle() {
+            self.step();
+            executed += 1;
+        }
+        executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keyformer_model::engine::InferenceEngine;
+    use keyformer_model::families::ModelFamily;
+    use keyformer_model::generation::GenerationConfig;
+
+    fn prompt(len: usize, salt: u32) -> Vec<u32> {
+        (0..len)
+            .map(|i| (i as u32 * 13 + 5 + salt * 17) % 120)
+            .collect()
+    }
+
+    fn keyformer_server(model: &TransformerModel, pool_tokens: usize) -> Server<'_> {
+        let bytes = model.empty_cache().bytes_per_token();
+        Server::new(
+            model,
+            ServerConfig::new(
+                PolicySpec::keyformer_default(),
+                Some(CacheBudgetSpec::new(0.5, 0.3).unwrap()),
+                pool_tokens * bytes,
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_server_is_idle_and_stepping_is_harmless() {
+        let model = ModelFamily::Tiny.build(1);
+        let mut server = keyformer_server(&model, 64);
+        assert!(server.is_idle());
+        assert_eq!(server.step(), 0);
+        assert!(server.completions().is_empty());
+    }
+
+    #[test]
+    fn zero_pool_is_rejected() {
+        let model = ModelFamily::Tiny.build(1);
+        let config = ServerConfig::new(PolicySpec::Full, None, 0);
+        assert!(Server::new(&model, config).is_err());
+    }
+
+    #[test]
+    fn single_request_completes_identically_to_a_fresh_engine() {
+        let model = ModelFamily::Tiny.build(2);
+        let config = GenerationConfig::new(6);
+        let mut server = keyformer_server(&model, 256);
+        server.submit(Request::new(1, prompt(24, 0), config));
+        server.run(64);
+        assert!(server.is_idle());
+        let completions = server.completions();
+        assert_eq!(completions.len(), 1);
+        let mut engine = InferenceEngine::new(
+            &model,
+            PolicySpec::keyformer_default().build().unwrap(),
+            Some(CacheBudgetSpec::new(0.5, 0.3).unwrap()),
+        );
+        let alone = engine.generate(&prompt(24, 0), &config);
+        assert_eq!(completions[0].output, alone);
+    }
+
+    #[test]
+    fn admission_respects_the_byte_pool() {
+        let model = ModelFamily::Tiny.build(3);
+        // Each request projects ceil(0.5 * 24) = 12 slots; a 30-slot pool fits
+        // exactly two concurrently.
+        let mut server = keyformer_server(&model, 30);
+        for i in 0..4 {
+            server.submit(Request::new(
+                i,
+                prompt(24, i as u32),
+                GenerationConfig::new(5),
+            ));
+        }
+        let mut max_running = 0;
+        let mut max_reserved = 0;
+        while !server.is_idle() {
+            server.step();
+            max_running = max_running.max(server.running());
+            max_reserved = max_reserved.max(server.reserved_bytes());
+            assert!(
+                server.reserved_bytes() <= server.config().pool_bytes,
+                "admission overshot the pool"
+            );
+        }
+        assert_eq!(max_running, 2);
+        assert_eq!(max_reserved, 2 * 12 * server.bytes_per_token());
+        assert_eq!(server.completions().len(), 4);
+        assert_eq!(server.stats().peak_concurrency, 2);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_through_admission() {
+        let model = ModelFamily::Tiny.build(4);
+        // Pool fits one request at a time, so completions must follow submission
+        // order exactly.
+        let mut server = keyformer_server(&model, 12);
+        for i in 0..3 {
+            server.submit(Request::new(
+                i,
+                prompt(20, i as u32),
+                GenerationConfig::new(4),
+            ));
+        }
+        server.run(256);
+        let ids: Vec<u64> = server.completions().iter().map(|c| c.id.raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        for c in server.completions() {
+            assert!(c.admitted_step >= c.submitted_step);
+            assert!(c.completed_step > c.admitted_step || c.output.generated.len() <= 1);
+            assert!(c.latency_steps() >= c.queue_steps());
+        }
+    }
+
+    #[test]
+    fn oversized_and_malformed_requests_fail_without_panicking() {
+        let model = ModelFamily::Tiny.build(5);
+        let mut server = keyformer_server(&model, 8);
+        // Projected 0.5 * 200 = 100 slots > 8-slot pool: rejected outright.
+        server.submit(Request::new(1, prompt(200, 1), GenerationConfig::new(4)));
+        // Empty prompt: engine error at prefill.
+        server.submit(Request::new(2, Vec::new(), GenerationConfig::new(4)));
+        // Out-of-vocabulary prompt: engine error at prefill.
+        server.submit(Request::new(3, vec![9_999], GenerationConfig::new(4)));
+        // A well-formed request behind the bad ones still completes.
+        server.submit(Request::new(4, prompt(14, 4), GenerationConfig::new(3)));
+        server.run(64);
+        assert!(server.is_idle());
+        assert_eq!(server.failures().len(), 3);
+        assert!(matches!(
+            server.failures()[0].reason,
+            FailureReason::TooLargeForPool { .. }
+        ));
+        assert!(matches!(
+            server.failures()[1].reason,
+            FailureReason::Engine(_)
+        ));
+        assert_eq!(server.completions().len(), 1);
+        assert_eq!(server.completions()[0].id.raw(), 4);
+        // Rejected requests never ran a forward pass, so they must not count as
+        // prefills nor consume the step's prefill slot ahead of the valid one.
+        assert_eq!(server.stats().prefills, 1);
+        assert_eq!(server.completions()[0].admitted_step, 1);
+    }
+
+    #[test]
+    fn smaller_budgets_admit_more_concurrent_sessions() {
+        let model = ModelFamily::Tiny.build(6);
+        let bytes = model.empty_cache().bytes_per_token();
+        let pool = 64 * bytes;
+        let run_with = |budget: Option<CacheBudgetSpec>| {
+            let mut server = Server::new(
+                &model,
+                ServerConfig::new(PolicySpec::keyformer_default(), budget, pool),
+            )
+            .unwrap();
+            for i in 0..6 {
+                server.submit(Request::new(
+                    i,
+                    prompt(32, i as u32),
+                    GenerationConfig::new(6),
+                ));
+            }
+            server.run(512);
+            assert_eq!(server.completions().len(), 6);
+            server.stats().peak_concurrency
+        };
+        let full = run_with(None);
+        let half = run_with(Some(CacheBudgetSpec::new(0.5, 0.3).unwrap()));
+        assert!(
+            half > full,
+            "50% budget should admit more sessions (full {full}, half {half})"
+        );
+    }
+
+    #[test]
+    fn stats_track_batches_and_bytes() {
+        let model = ModelFamily::Tiny.build(7);
+        let mut server = keyformer_server(&model, 256);
+        for i in 0..3 {
+            server.submit(Request::new(
+                i,
+                prompt(16, i as u32),
+                GenerationConfig::new(4),
+            ));
+        }
+        server.run(64);
+        let stats = server.stats();
+        assert_eq!(stats.prefills, 3);
+        // 3 requests x 4 tokens; each request's final token costs a decode step
+        // but no forward, so all 12 are counted.
+        assert_eq!(stats.decode_steps, 12);
+        assert!(stats.mean_batch_size() > 0.0);
+        assert!(stats.mean_live_kv_bytes() > 0.0);
+        assert!(stats.peak_live_kv_bytes > 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Serving quickstart: run the same burst of requests through the
+//! continuous-batching server under full attention and under Keyformer with a
+//! 50% KV budget, at the same fixed KV-byte pool, and compare throughput.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+
+use keyformer::core::{CacheBudgetSpec, PolicySpec};
+use keyformer::model::families::ModelFamily;
+use keyformer::model::generation::GenerationConfig;
+use keyformer::serve::{Request, Server, ServerConfig};
+use keyformer::text::datasets::summarization::{SummarizationDataset, SummarizationSpec};
+
+fn main() {
+    let spec = SummarizationSpec {
+        article_len: 96,
+        num_facts: 4,
+        filler_pool: 80,
+        plant_span: 0.7,
+        seed: 1_234,
+    };
+    let dataset = SummarizationDataset::generate(&spec, 8);
+    let model = ModelFamily::MptLike.build(3);
+    let bytes_per_token = model.empty_cache().bytes_per_token();
+    let max_len = dataset
+        .samples()
+        .iter()
+        .map(|s| s.prompt.len() + s.reference.len())
+        .max()
+        .expect("dataset is non-empty");
+    // Pool sized so full attention fits two requests at a time.
+    let pool_bytes = 2 * max_len * bytes_per_token;
+    let step_budget = 40;
+    println!(
+        "{} requests, KV pool {} KiB, budget {} scheduler steps\n",
+        dataset.samples().len(),
+        pool_bytes / 1024,
+        step_budget
+    );
+
+    for (label, policy, budget) in [
+        ("Full attention", PolicySpec::Full, None),
+        (
+            "Keyformer @ 50% KV cache",
+            PolicySpec::keyformer_default(),
+            Some(CacheBudgetSpec::with_fraction(0.5).expect("valid budget")),
+        ),
+    ] {
+        let mut server = Server::new(&model, ServerConfig::new(policy, budget, pool_bytes))
+            .expect("valid serving config");
+        for (i, sample) in dataset.samples().iter().enumerate() {
+            server.submit(Request::new(
+                i as u64,
+                sample.prompt.clone(),
+                GenerationConfig::new(sample.reference.len()),
+            ));
+        }
+        server.run(step_budget);
+        let stats = server.stats();
+        let completed = server.completions().len();
+        println!("== {label} ==");
+        println!(
+            "  completed {completed}/{} requests in {} steps ({:.3} requests/step)",
+            dataset.samples().len(),
+            stats.steps,
+            completed as f64 / stats.steps.max(1) as f64
+        );
+        println!(
+            "  peak concurrency {}, mean batch {:.2}, mean live KV {} KiB",
+            stats.peak_concurrency,
+            stats.mean_batch_size(),
+            (stats.mean_live_kv_bytes() / 1024.0).round()
+        );
+        if let Some(first) = server.completions().first() {
+            println!(
+                "  first completion: {} after {} steps ({} queued)\n",
+                first.id,
+                first.latency_steps(),
+                first.queue_steps()
+            );
+        } else {
+            println!("  no completions inside the step budget\n");
+        }
+    }
+}

@@ -7,6 +7,8 @@
 //!   window attention, StreamingLLM, …).
 //! * [`model`] — the decoder-only transformer substrate (RoPE / ALiBi / learned
 //!   positions) and the [`model::engine::InferenceEngine`].
+//! * [`serve`] — the continuous-batching serving layer: many concurrent sequences
+//!   decoding against one shared model behind a memory-aware admission queue.
 //! * [`text`] — synthetic tasks, ROUGE and evaluation drivers.
 //! * [`perf`] — the analytic A100 roofline model.
 //! * [`harness`] — experiment definitions regenerating every paper table and figure.
@@ -34,5 +36,6 @@ pub use keyformer_core as core;
 pub use keyformer_harness as harness;
 pub use keyformer_model as model;
 pub use keyformer_perf as perf;
+pub use keyformer_serve as serve;
 pub use keyformer_tensor as tensor;
 pub use keyformer_text as text;
