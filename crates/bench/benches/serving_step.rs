@@ -52,7 +52,7 @@ fn serving_step(c: &mut Criterion) {
             b.iter(|| {
                 // Keep the queue topped up so the batch never shrinks.
                 while server.queued() + server.running() < batch {
-                    server.submit(request(next_id));
+                    server.submit(request(next_id)).expect("no overrides");
                     next_id += 1;
                 }
                 server.step()
@@ -82,7 +82,7 @@ fn serving_burst(c: &mut Criterion) {
                 let mut server =
                     Server::new(&model, ServerConfig::new(policy, budget, pool)).expect("valid");
                 for i in 0..8 {
-                    server.submit(request(i));
+                    server.submit(request(i)).expect("no overrides");
                 }
                 server.run(512);
                 server.completions().len()

@@ -1,37 +1,195 @@
-//! The KV cache: per-layer storage of key/value vectors for every retained token slot.
+//! The KV cache: per-layer storage of key/value vectors for every retained token slot,
+//! physically organised as fixed-size blocks drawn from a [`SharedBlockPool`].
 //!
 //! The cache stores *unrotated* keys together with each token's original sequence
 //! position. Positional encodings (RoPE / ALiBi) are applied by the attention module
 //! at read time, which is what lets the reproduction switch between the paper's
 //! "original position" and "new position" ablations (Table 3) without recomputing
 //! keys.
+//!
+//! ## Paged storage
+//!
+//! Logically the cache is still a flat, insertion-ordered list of slots — the API
+//! ([`LayerKvCache::append`], [`LayerKvCache::retain_slots`], the
+//! [`LayerKvCache::keys`] / [`LayerKvCache::values`] views) is unchanged, so the
+//! eviction-policy zoo never sees the difference. Physically, each layer owns a
+//! *block table*: a list of fixed-size blocks allocated from a (possibly shared,
+//! possibly bounded) [`SharedBlockPool`]. Logical slot `i` lives in block
+//! `i / block_size` at row `i % block_size`; blocks are kept dense, so only the
+//! last block is ever partially filled. Compaction rewrites rows in place and
+//! releases emptied tail blocks back to the pool immediately — which is what makes
+//! the bytes a policy evicts instantly reusable by *other* sequences sharing the
+//! pool.
 
+use crate::block::{BlockId, SharedBlockPool, DEFAULT_BLOCK_SIZE};
 use crate::CoreError;
-use keyformer_tensor::Matrix;
-use serde::{Deserialize, Serialize};
+use keyformer_tensor::{Matrix, TensorError};
 
-/// Key/value storage for a single decoder layer.
+/// One fixed-size block of per-head key/value rows for a single layer.
+#[derive(Debug)]
+struct KvBlock {
+    id: BlockId,
+    /// Per head: up to `block_size` key rows of width `head_dim`.
+    keys: Vec<Matrix>,
+    /// Per head: up to `block_size` value rows of width `head_dim`.
+    values: Vec<Matrix>,
+}
+
+impl KvBlock {
+    fn new(id: BlockId, num_heads: usize) -> Self {
+        KvBlock {
+            id,
+            keys: (0..num_heads).map(|_| Matrix::zeros(0, 0)).collect(),
+            values: (0..num_heads).map(|_| Matrix::zeros(0, 0)).collect(),
+        }
+    }
+
+    fn byte_size(&self) -> usize {
+        self.keys
+            .iter()
+            .chain(self.values.iter())
+            .map(Matrix::byte_size)
+            .sum()
+    }
+}
+
+/// Which of the two stored tensors a [`KvSlice`] reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KvComponent {
+    Keys,
+    Values,
+}
+
+/// A read-only, slot-indexed view of one head's keys or values across a layer's
+/// block table.
+///
+/// This is the drop-in replacement for the `&Matrix` the contiguous backend used
+/// to hand out: row `i` is logical slot `i`, whatever block it physically lives
+/// in. Only the small read surface attention needs is exposed.
+#[derive(Debug, Clone, Copy)]
+pub struct KvSlice<'a> {
+    blocks: &'a [KvBlock],
+    head: usize,
+    component: KvComponent,
+    block_size: usize,
+    len: usize,
+    head_dim: usize,
+}
+
+impl<'a> KvSlice<'a> {
+    /// Number of live slots (rows) in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the view holds no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Shape as `(live_slots, head_dim)`, mirroring [`Matrix::shape`].
+    pub fn shape(&self) -> (usize, usize) {
+        (self.len, self.head_dim)
+    }
+
+    fn matrix(&self, block: usize) -> &'a Matrix {
+        let b = &self.blocks[block];
+        match self.component {
+            KvComponent::Keys => &b.keys[self.head],
+            KvComponent::Values => &b.values[self.head],
+        }
+    }
+
+    /// Borrow of logical slot `slot` as a row slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= len()`.
+    #[inline]
+    pub fn row(&self, slot: usize) -> &'a [f32] {
+        assert!(slot < self.len, "slot index out of bounds");
+        self.matrix(slot / self.block_size)
+            .row(slot % self.block_size)
+    }
+
+    /// Vector-matrix product `v * self` (treats `v` as a row vector of per-slot
+    /// coefficients), mirroring [`Matrix::vecmat`] across block boundaries. This
+    /// is attention's value-aggregation primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `v.len() != len()`.
+    pub fn vecmat(&self, v: &[f32]) -> Result<Vec<f32>, TensorError> {
+        if v.len() != self.len {
+            return Err(TensorError::ShapeMismatch {
+                op: "vecmat",
+                lhs: (1, v.len()),
+                rhs: self.shape(),
+            });
+        }
+        let mut out = vec![0.0f32; self.head_dim];
+        for (block_idx, coeffs) in v.chunks(self.block_size).enumerate() {
+            let m = self.matrix(block_idx);
+            for (r, &coeff) in coeffs.iter().enumerate() {
+                if coeff == 0.0 {
+                    continue;
+                }
+                for (o, &x) in out.iter_mut().zip(m.row(r)) {
+                    *o += coeff * x;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Copies the view into a dense matrix (diagnostics / tests).
+    pub fn to_matrix(&self) -> Matrix {
+        let mut m = Matrix::zeros(0, 0);
+        for slot in 0..self.len {
+            m.push_row(self.row(slot));
+        }
+        m
+    }
+}
+
+/// Key/value storage for a single decoder layer, backed by pool blocks.
 ///
 /// Slots are kept in insertion order; `positions[i]` records the original sequence
-/// position of slot `i`. Per head, `keys[head]` and `values[head]` are
-/// `(n_slots, head_dim)` matrices whose rows parallel the slot order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// position of slot `i`. Per head, [`LayerKvCache::keys`] and
+/// [`LayerKvCache::values`] are `(n_slots, head_dim)` views whose rows parallel
+/// the slot order.
+#[derive(Debug)]
 pub struct LayerKvCache {
     num_heads: usize,
     head_dim: usize,
-    keys: Vec<Matrix>,
-    values: Vec<Matrix>,
+    pool: SharedBlockPool,
+    /// Cached copy of the pool's immutable block size, so the attention hot
+    /// path (`keys`/`values`/`append`) never touches the pool's lock just to
+    /// read a constant.
+    block_size: usize,
+    blocks: Vec<KvBlock>,
     positions: Vec<usize>,
 }
 
 impl LayerKvCache {
-    /// Creates an empty per-layer cache for `num_heads` heads of width `head_dim`.
+    /// Creates an empty per-layer cache for `num_heads` heads of width `head_dim`,
+    /// backed by a private unbounded pool with the default block size.
     pub fn new(num_heads: usize, head_dim: usize) -> Self {
+        Self::with_pool(
+            num_heads,
+            head_dim,
+            SharedBlockPool::unbounded(DEFAULT_BLOCK_SIZE),
+        )
+    }
+
+    /// Creates an empty per-layer cache drawing its blocks from `pool`.
+    pub fn with_pool(num_heads: usize, head_dim: usize, pool: SharedBlockPool) -> Self {
         LayerKvCache {
             num_heads,
             head_dim,
-            keys: (0..num_heads).map(|_| Matrix::zeros(0, 0)).collect(),
-            values: (0..num_heads).map(|_| Matrix::zeros(0, 0)).collect(),
+            block_size: pool.block_size(),
+            pool,
+            blocks: Vec::new(),
             positions: Vec::new(),
         }
     }
@@ -56,37 +214,86 @@ impl LayerKvCache {
         self.head_dim
     }
 
+    /// Token slots per block of the backing pool.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The pool this layer draws its blocks from.
+    pub fn pool(&self) -> &SharedBlockPool {
+        &self.pool
+    }
+
+    /// Number of blocks currently held by this layer.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The layer's block table: pool block ids in slot order.
+    pub fn block_table(&self) -> Vec<BlockId> {
+        self.blocks.iter().map(|b| b.id).collect()
+    }
+
+    /// Token slots covered by the allocated blocks (`num_blocks * block_size`).
+    /// `allocated_slots() - len()` is this layer's internal fragmentation.
+    pub fn allocated_slots(&self) -> usize {
+        self.blocks.len() * self.block_size()
+    }
+
+    /// `true` when the next [`LayerKvCache::append`] must allocate a new block.
+    pub fn needs_block_for_append(&self) -> bool {
+        self.len() == self.allocated_slots()
+    }
+
     /// Original sequence positions of the live slots, in slot order.
     pub fn positions(&self) -> &[usize] {
         &self.positions
     }
 
-    /// Key matrix of `head` with one row per live slot.
+    /// Key view of `head` with one row per live slot.
     ///
     /// # Panics
     ///
     /// Panics if `head >= num_heads`.
-    pub fn keys(&self, head: usize) -> &Matrix {
-        &self.keys[head]
+    pub fn keys(&self, head: usize) -> KvSlice<'_> {
+        assert!(head < self.num_heads, "head index out of bounds");
+        KvSlice {
+            blocks: &self.blocks,
+            head,
+            component: KvComponent::Keys,
+            block_size: self.block_size(),
+            len: self.len(),
+            head_dim: self.head_dim,
+        }
     }
 
-    /// Value matrix of `head` with one row per live slot.
+    /// Value view of `head` with one row per live slot.
     ///
     /// # Panics
     ///
     /// Panics if `head >= num_heads`.
-    pub fn values(&self, head: usize) -> &Matrix {
-        &self.values[head]
+    pub fn values(&self, head: usize) -> KvSlice<'_> {
+        assert!(head < self.num_heads, "head index out of bounds");
+        KvSlice {
+            blocks: &self.blocks,
+            head,
+            component: KvComponent::Values,
+            block_size: self.block_size(),
+            len: self.len(),
+            head_dim: self.head_dim,
+        }
     }
 
-    /// Appends one token's per-head key and value vectors.
+    /// Appends one token's per-head key and value vectors, allocating a fresh
+    /// block from the pool when the last one is full.
     ///
     /// `keys_per_head[h]` and `values_per_head[h]` must each have length `head_dim`.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] if the number of heads or any vector
-    /// length is wrong.
+    /// length is wrong, and [`CoreError::PoolExhausted`] if a strict pool has no
+    /// block left.
     pub fn append(
         &mut self,
         position: usize,
@@ -111,15 +318,21 @@ impl LayerKvCache {
                 )));
             }
         }
+        if self.needs_block_for_append() {
+            let id = self.pool.alloc()?;
+            self.blocks.push(KvBlock::new(id, self.num_heads));
+        }
+        let block = self.blocks.last_mut().expect("block allocated above");
         for h in 0..self.num_heads {
-            self.keys[h].push_row(&keys_per_head[h]);
-            self.values[h].push_row(&values_per_head[h]);
+            block.keys[h].push_row(&keys_per_head[h]);
+            block.values[h].push_row(&values_per_head[h]);
         }
         self.positions.push(position);
         Ok(())
     }
 
-    /// Compacts the cache down to the given slot indices.
+    /// Compacts the cache down to the given slot indices, releasing every block
+    /// the compaction empties back to the pool.
     ///
     /// `retained` must be sorted, unique and in-bounds; this is the contract policies
     /// must satisfy in [`crate::policy::KvCachePolicy::select_retained`].
@@ -129,64 +342,130 @@ impl LayerKvCache {
     /// Returns [`CoreError::InvalidSelection`] if the contract is violated.
     pub fn retain_slots(&mut self, retained: &[usize]) -> Result<(), CoreError> {
         validate_selection(retained, self.len())?;
-        for h in 0..self.num_heads {
-            self.keys[h] = self.keys[h].gather_rows(retained);
-            self.values[h] = self.values[h].gather_rows(retained);
+        let bs = self.block_size();
+        // `retained` is strictly increasing, so every destination slot is at or
+        // before its source slot and rows can be moved in a single forward pass.
+        for (dst, &src) in retained.iter().enumerate() {
+            if dst == src {
+                continue;
+            }
+            let (sb, sr) = (src / bs, src % bs);
+            let (db, dr) = (dst / bs, dst % bs);
+            for h in 0..self.num_heads {
+                let key = self.blocks[sb].keys[h].row(sr).to_vec();
+                self.blocks[db].keys[h].row_mut(dr).copy_from_slice(&key);
+                let value = self.blocks[sb].values[h].row(sr).to_vec();
+                self.blocks[db].values[h]
+                    .row_mut(dr)
+                    .copy_from_slice(&value);
+            }
         }
         self.positions = retained.iter().map(|&i| self.positions[i]).collect();
+        let new_len = self.positions.len();
+        let needed = new_len.div_ceil(bs);
+        for block in self.blocks.drain(needed..) {
+            self.pool.release(block.id);
+        }
+        if let Some(last) = self.blocks.last_mut() {
+            let rows = new_len - (needed - 1) * bs;
+            for m in last.keys.iter_mut().chain(last.values.iter_mut()) {
+                m.truncate_rows(rows);
+            }
+        }
         Ok(())
     }
 
-    /// Removes every slot.
+    /// Removes every slot, returning all blocks to the pool.
     pub fn clear(&mut self) {
-        for h in 0..self.num_heads {
-            self.keys[h] = Matrix::zeros(0, 0);
-            self.values[h] = Matrix::zeros(0, 0);
+        for block in self.blocks.drain(..) {
+            self.pool.release(block.id);
         }
         self.positions.clear();
     }
 
-    /// Approximate memory footprint of the stored keys and values, in bytes.
+    /// Approximate memory footprint of the *live* keys and values, in bytes.
     ///
     /// This is the quantity the paper's Figure 1(b) tracks (KV-cache size vs. model
-    /// size) and the input to the data-movement model in `keyformer-perf`.
+    /// size) and the input to the data-movement model in `keyformer-perf`. For the
+    /// block-granular footprint the allocator actually holds, see
+    /// [`LayerKvCache::allocated_byte_size`].
     pub fn byte_size(&self) -> usize {
-        self.keys
-            .iter()
-            .chain(self.values.iter())
-            .map(Matrix::byte_size)
-            .sum()
+        self.blocks.iter().map(KvBlock::byte_size).sum()
+    }
+
+    /// Byte footprint at block granularity: every allocated block counted at its
+    /// full `block_size`, including the unfilled tail of the last block.
+    pub fn allocated_byte_size(&self) -> usize {
+        self.allocated_slots() * self.bytes_per_slot()
     }
 
     /// Bytes one retained token slot occupies in this layer (keys + values across
     /// every head), independent of how many slots are currently live. This is the
-    /// unit the serving layer's memory-aware admission multiplies by a projected
-    /// slot count.
+    /// unit the serving layer's block arithmetic multiplies by the block size.
     pub fn bytes_per_slot(&self) -> usize {
         2 * self.num_heads * self.head_dim * std::mem::size_of::<f32>()
     }
 }
 
-/// The full KV cache of a decoder stack: one [`LayerKvCache`] per layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+impl Drop for LayerKvCache {
+    fn drop(&mut self) {
+        // Retiring a sequence returns its blocks to the shared pool immediately.
+        self.clear();
+    }
+}
+
+/// The full KV cache of a decoder stack: one [`LayerKvCache`] per layer, all
+/// drawing from one [`SharedBlockPool`].
+#[derive(Debug)]
 pub struct KvCache {
     layers: Vec<LayerKvCache>,
+    pool: SharedBlockPool,
 }
 
 impl KvCache {
     /// Creates an empty cache for `num_layers` layers, each with `num_heads` heads of
-    /// width `head_dim`.
+    /// width `head_dim`, over a private unbounded pool with the default block size.
     pub fn new(num_layers: usize, num_heads: usize, head_dim: usize) -> Self {
+        Self::with_pool(
+            num_layers,
+            num_heads,
+            head_dim,
+            SharedBlockPool::unbounded(DEFAULT_BLOCK_SIZE),
+        )
+    }
+
+    /// Creates an empty cache whose layers all allocate from `pool` — the
+    /// constructor the serving layer uses to make many sessions contend for (and
+    /// recycle) one physical pool.
+    pub fn with_pool(
+        num_layers: usize,
+        num_heads: usize,
+        head_dim: usize,
+        pool: SharedBlockPool,
+    ) -> Self {
         KvCache {
             layers: (0..num_layers)
-                .map(|_| LayerKvCache::new(num_heads, head_dim))
+                .map(|_| LayerKvCache::with_pool(num_heads, head_dim, pool.clone()))
                 .collect(),
+            pool,
         }
     }
 
     /// Number of decoder layers.
     pub fn num_layers(&self) -> usize {
         self.layers.len()
+    }
+
+    /// The pool shared by every layer of this cache.
+    pub fn pool(&self) -> &SharedBlockPool {
+        &self.pool
+    }
+
+    /// Token slots per block of the backing pool.
+    pub fn block_size(&self) -> usize {
+        self.layers
+            .first()
+            .map_or_else(|| self.pool.block_size(), LayerKvCache::block_size)
     }
 
     /// Borrow of a layer's cache.
@@ -217,20 +496,50 @@ impl KvCache {
         self.layers.iter().map(LayerKvCache::len).sum()
     }
 
-    /// Total byte footprint summed over layers.
+    /// Total number of blocks held, summed over layers.
+    pub fn total_blocks(&self) -> usize {
+        self.layers.iter().map(LayerKvCache::num_blocks).sum()
+    }
+
+    /// Total slots covered by held blocks, summed over layers.
+    /// `total_allocated_slots() - total_slots()` is the cache's internal
+    /// fragmentation in slots.
+    pub fn total_allocated_slots(&self) -> usize {
+        self.layers.iter().map(LayerKvCache::allocated_slots).sum()
+    }
+
+    /// Blocks a single token append may need in the worst case right now: one
+    /// per layer whose last block is full. Chunked prefill pre-flights this
+    /// against the pool before forwarding a token into a strict pool.
+    pub fn blocks_needed_for_next_token(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| l.needs_block_for_append())
+            .count()
+    }
+
+    /// Total live byte footprint summed over layers.
     pub fn byte_size(&self) -> usize {
         self.layers.iter().map(LayerKvCache::byte_size).sum()
     }
 
+    /// Total block-granular byte footprint summed over layers.
+    pub fn allocated_byte_size(&self) -> usize {
+        self.layers
+            .iter()
+            .map(LayerKvCache::allocated_byte_size)
+            .sum()
+    }
+
     /// Bytes one cached token occupies across every layer (keys + values). A cache
     /// holding `n` slots in each layer occupies exactly `n * bytes_per_token()`
-    /// bytes; the serving layer uses this to project a request's steady-state
-    /// footprint before admitting it.
+    /// live bytes; the serving layer uses this to convert its byte pool into a
+    /// block budget.
     pub fn bytes_per_token(&self) -> usize {
         self.layers.iter().map(LayerKvCache::bytes_per_slot).sum()
     }
 
-    /// Clears every layer.
+    /// Clears every layer, returning all blocks to the pool.
     pub fn clear(&mut self) {
         for layer in &mut self.layers {
             layer.clear();
@@ -266,9 +575,14 @@ pub fn validate_selection(retained: &[usize], live: usize) -> Result<(), CoreErr
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::block::OvercommitPolicy;
 
     fn filled_layer(slots: usize) -> LayerKvCache {
-        let mut layer = LayerKvCache::new(2, 3);
+        filled_layer_in(slots, SharedBlockPool::unbounded(DEFAULT_BLOCK_SIZE))
+    }
+
+    fn filled_layer_in(slots: usize, pool: SharedBlockPool) -> LayerKvCache {
+        let mut layer = LayerKvCache::with_pool(2, 3, pool);
         for i in 0..slots {
             let k = vec![vec![i as f32; 3], vec![i as f32 + 0.5; 3]];
             let v = vec![vec![10.0 + i as f32; 3], vec![20.0 + i as f32; 3]];
@@ -302,6 +616,34 @@ mod tests {
     }
 
     #[test]
+    fn slots_span_block_boundaries() {
+        let pool = SharedBlockPool::unbounded(3);
+        let layer = filled_layer_in(8, pool);
+        assert_eq!(layer.num_blocks(), 3);
+        assert_eq!(layer.allocated_slots(), 9);
+        // Rows read back identically across the block seams.
+        for slot in 0..8 {
+            assert_eq!(layer.keys(0).row(slot), &[slot as f32; 3]);
+            assert_eq!(layer.values(1).row(slot), &[20.0 + slot as f32; 3]);
+        }
+        assert_eq!(layer.keys(0).to_matrix().shape(), (8, 3));
+    }
+
+    #[test]
+    fn vecmat_matches_dense_matrix() {
+        let pool = SharedBlockPool::unbounded(3);
+        let layer = filled_layer_in(7, pool);
+        let coeffs: Vec<f32> = (0..7).map(|i| 0.1 * i as f32).collect();
+        let view = layer.values(0);
+        let paged = view.vecmat(&coeffs).unwrap();
+        let dense = view.to_matrix().vecmat(&coeffs).unwrap();
+        for (a, b) in paged.iter().zip(&dense) {
+            assert!((a - b).abs() < 1e-5, "{paged:?} vs {dense:?}");
+        }
+        assert!(view.vecmat(&[1.0]).is_err());
+    }
+
+    #[test]
     fn retain_slots_compacts_keys_values_positions() {
         let mut layer = filled_layer(5);
         layer.retain_slots(&[0, 3, 4]).unwrap();
@@ -309,6 +651,28 @@ mod tests {
         assert_eq!(layer.positions(), &[0, 3, 4]);
         assert_eq!(layer.keys(0).row(1), &[3.0, 3.0, 3.0]);
         assert_eq!(layer.values(1).row(2), &[24.0, 24.0, 24.0]);
+    }
+
+    #[test]
+    fn retain_slots_across_blocks_releases_emptied_tail() {
+        let pool = SharedBlockPool::unbounded(2);
+        let mut layer = filled_layer_in(7, pool.clone());
+        assert_eq!(pool.blocks_in_use(), 4);
+        layer.retain_slots(&[1, 4, 6]).unwrap();
+        assert_eq!(layer.len(), 3);
+        assert_eq!(layer.num_blocks(), 2);
+        assert_eq!(pool.blocks_in_use(), 2, "emptied blocks returned instantly");
+        assert_eq!(layer.positions(), &[1, 4, 6]);
+        assert_eq!(layer.keys(0).row(0), &[1.0; 3]);
+        assert_eq!(layer.keys(0).row(1), &[4.0; 3]);
+        assert_eq!(layer.keys(0).row(2), &[6.0; 3]);
+        assert_eq!(layer.values(1).row(2), &[26.0; 3]);
+        // Appending after compaction reuses the partially-filled tail block.
+        let k = vec![vec![9.0; 3], vec![9.5; 3]];
+        let v = vec![vec![19.0; 3], vec![29.0; 3]];
+        layer.append(9, &k, &v).unwrap();
+        assert_eq!(layer.num_blocks(), 2);
+        assert_eq!(layer.keys(0).row(3), &[9.0; 3]);
     }
 
     #[test]
@@ -320,6 +684,7 @@ mod tests {
         // A valid empty selection clears the cache.
         layer.retain_slots(&[]).unwrap();
         assert!(layer.is_empty());
+        assert_eq!(layer.num_blocks(), 0);
     }
 
     #[test]
@@ -327,6 +692,8 @@ mod tests {
         let layer = filled_layer(4);
         // 2 heads * (keys + values) * 4 slots * 3 dims * 4 bytes.
         assert_eq!(layer.byte_size(), 2 * 2 * 4 * 3 * 4);
+        // Block granularity rounds the footprint up to one 16-slot block.
+        assert_eq!(layer.allocated_byte_size(), 16 * layer.bytes_per_slot());
     }
 
     #[test]
@@ -352,14 +719,44 @@ mod tests {
     #[test]
     fn clear_empties_layer() {
         let mut layer = filled_layer(3);
+        let pool = layer.pool().clone();
+        assert_eq!(pool.blocks_in_use(), 1);
         layer.clear();
         assert!(layer.is_empty());
         assert_eq!(layer.byte_size(), 0);
+        assert_eq!(pool.blocks_in_use(), 0);
+    }
+
+    #[test]
+    fn drop_returns_blocks_to_the_pool() {
+        let pool = SharedBlockPool::unbounded(2);
+        {
+            let _layer = filled_layer_in(5, pool.clone());
+            assert_eq!(pool.blocks_in_use(), 3);
+        }
+        assert_eq!(pool.blocks_in_use(), 0);
+    }
+
+    #[test]
+    fn strict_pool_exhaustion_surfaces_as_error() {
+        let pool = SharedBlockPool::bounded(2, 2, OvercommitPolicy::Strict).unwrap();
+        let mut layer = LayerKvCache::with_pool(2, 3, pool);
+        let k = vec![vec![0.0; 3], vec![0.0; 3]];
+        let v = k.clone();
+        for i in 0..4 {
+            layer.append(i, &k, &v).unwrap();
+        }
+        assert!(matches!(
+            layer.append(4, &k, &v),
+            Err(CoreError::PoolExhausted { .. })
+        ));
+        assert_eq!(layer.len(), 4, "failed append leaves the cache consistent");
     }
 
     #[test]
     fn kv_cache_aggregates_layers() {
-        let mut cache = KvCache::new(3, 2, 3);
+        let pool = SharedBlockPool::unbounded(4);
+        let mut cache = KvCache::with_pool(3, 2, 3, pool);
         for l in 0..3 {
             let k = vec![vec![0.0; 3], vec![0.0; 3]];
             let v = k.clone();
@@ -367,9 +764,17 @@ mod tests {
         }
         assert_eq!(cache.num_layers(), 3);
         assert_eq!(cache.total_slots(), 3);
+        assert_eq!(cache.total_blocks(), 3);
+        assert_eq!(cache.total_allocated_slots(), 12);
+        assert_eq!(cache.pool().blocks_in_use(), 3);
         assert!(cache.byte_size() > 0);
+        assert!(cache.allocated_byte_size() >= cache.byte_size());
+        // Every layer's last block has room: no allocation needed for the next token.
+        assert_eq!(cache.blocks_needed_for_next_token(), 0);
         cache.clear();
         assert_eq!(cache.total_slots(), 0);
+        assert_eq!(cache.pool().blocks_in_use(), 0);
+        assert_eq!(cache.blocks_needed_for_next_token(), 3);
     }
 
     #[test]

@@ -75,6 +75,7 @@
 
 pub mod accumulator;
 pub mod adjustment;
+pub mod block;
 pub mod budget;
 pub mod cache;
 pub mod diagnostics;
@@ -86,6 +87,7 @@ pub mod temperature;
 
 pub use accumulator::{ScoreAccumulator, ScoreScope};
 pub use adjustment::LogitAdjustment;
+pub use block::{BlockId, BlockPool, BlockPoolStats, OvercommitPolicy, SharedBlockPool};
 pub use budget::{CacheBudget, CacheBudgetSpec};
 pub use cache::{KvCache, LayerKvCache};
 pub use observation::{AttentionObservation, Phase};
@@ -106,6 +108,15 @@ pub enum CoreError {
     /// A retained-slot set did not satisfy the compaction contract
     /// (sorted, unique, in-bounds, correct length).
     InvalidSelection(String),
+    /// A strict [`block::BlockPool`] had no block left for an allocation.
+    /// Chunked prefill treats this as "pause and resume once blocks free up";
+    /// anywhere else it retires the request.
+    PoolExhausted {
+        /// Blocks allocated when the request failed.
+        in_use: usize,
+        /// The pool's block capacity.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -113,6 +124,10 @@ impl std::fmt::Display for CoreError {
         match self {
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::InvalidSelection(msg) => write!(f, "invalid selection: {msg}"),
+            CoreError::PoolExhausted { in_use, capacity } => write!(
+                f,
+                "block pool exhausted: {in_use} of {capacity} blocks in use"
+            ),
         }
     }
 }

@@ -12,14 +12,53 @@
 //! `table1` … `table4`, plus the serving-layer `serve_throughput` experiment.
 //!
 //! Running `serve_throughput` additionally writes `BENCH_serving.json` (requests
-//! per scheduler step and mean KV bytes per policy) to the working directory, so
-//! CI can archive the serving-throughput trajectory as machine-readable data.
+//! per scheduler step and mean KV bytes per policy), and running `paging` writes
+//! `BENCH_paging.json` (throughput, pool utilization and overshoot per block
+//! configuration) to the working directory, so CI can archive both serving
+//! trajectories as machine-readable data.
 
-use keyformer_harness::serving;
+use keyformer_harness::report::Table;
+use keyformer_harness::{paging, serving};
 use keyformer_harness::{run_experiment, ExperimentId};
+use serde::Serialize;
 
 /// File the serving experiment's machine-readable summary is written to.
 const SERVING_JSON: &str = "BENCH_serving.json";
+/// File the paging experiment's machine-readable summary is written to.
+const PAGING_JSON: &str = "BENCH_paging.json";
+
+/// Writes an experiment's machine-readable summary, exiting loudly on failure —
+/// a missing or stale JSON data point must not leave a previous run's file
+/// looking current.
+fn write_summary<T: Serialize>(path: &str, summaries: &T) {
+    let json = serde_json::to_string(summaries).unwrap_or_else(|e| {
+        eprintln!("could not serialize summary for {path}: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path}");
+}
+
+/// Runs one experiment, writing the machine-readable artefact for the
+/// experiments that have one.
+fn run_with_artifacts(id: ExperimentId, samples: usize) -> Table {
+    match id {
+        ExperimentId::ServeThroughput => {
+            let (table, summaries) = serving::serve_throughput_report(samples);
+            write_summary(SERVING_JSON, &summaries);
+            table
+        }
+        ExperimentId::Paging => {
+            let (table, summaries) = paging::paging_report(samples);
+            write_summary(PAGING_JSON, &summaries);
+            table
+        }
+        _ => run_experiment(id, samples),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,23 +95,7 @@ fn main() {
     }
     for id in requested {
         eprintln!("running {id} (samples = {samples}) ...");
-        let table = if id == ExperimentId::ServeThroughput {
-            let (table, summaries) = serving::serve_throughput_report(samples);
-            // A missing or stale JSON data point must fail loudly, not leave a
-            // previous run's file looking current.
-            let json = serde_json::to_string(&summaries).unwrap_or_else(|e| {
-                eprintln!("could not serialize serving summary: {e}");
-                std::process::exit(1);
-            });
-            if let Err(e) = std::fs::write(SERVING_JSON, json) {
-                eprintln!("could not write {SERVING_JSON}: {e}");
-                std::process::exit(1);
-            }
-            eprintln!("wrote {SERVING_JSON}");
-            table
-        } else {
-            run_experiment(id, samples)
-        };
+        let table = run_with_artifacts(id, samples);
         if csv {
             println!("# {}", table.title);
             println!("{}", table.render_csv());

@@ -14,6 +14,7 @@
 
 pub mod accuracy;
 pub mod analysis;
+pub mod paging;
 pub mod perf;
 pub mod registry;
 pub mod report;

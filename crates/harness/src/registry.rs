@@ -2,7 +2,7 @@
 //! regenerate them.
 
 use crate::report::Table;
-use crate::{accuracy, analysis, perf, serving};
+use crate::{accuracy, analysis, paging, perf, serving};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of one paper table or figure.
@@ -48,6 +48,10 @@ pub enum ExperimentId {
     /// KV-byte pool (continuous batching; not a paper artefact — the end-to-end
     /// systems consequence of Table 1's footprint reductions).
     ServeThroughput,
+    /// Paged-allocator comparison: throughput, pool utilization and overshoot
+    /// versus block size at a fixed pool, against a contiguous
+    /// (sequence-granularity) baseline (not a paper artefact).
+    Paging,
 }
 
 impl ExperimentId {
@@ -74,6 +78,7 @@ impl ExperimentId {
             Table3,
             Table4,
             ServeThroughput,
+            Paging,
         ]
     }
 
@@ -100,6 +105,7 @@ impl ExperimentId {
             "table3" => Table3,
             "table4" => Table4,
             "serve_throughput" => ServeThroughput,
+            "paging" => Paging,
             _ => return None,
         })
     }
@@ -127,6 +133,7 @@ impl ExperimentId {
             Table3 => "table3",
             Table4 => "table4",
             ServeThroughput => "serve_throughput",
+            Paging => "paging",
         }
     }
 }
@@ -162,6 +169,7 @@ pub fn run_experiment(id: ExperimentId, samples: usize) -> Table {
         ExperimentId::Table3 => accuracy::table3(samples),
         ExperimentId::Table4 => accuracy::table4(samples),
         ExperimentId::ServeThroughput => serving::serve_throughput(samples),
+        ExperimentId::Paging => paging::paging(samples),
     }
 }
 
@@ -181,8 +189,8 @@ mod tests {
 
     #[test]
     fn all_lists_every_experiment() {
-        // 18 paper artefacts + the serving-throughput experiment.
-        assert_eq!(ExperimentId::all().len(), 19);
+        // 18 paper artefacts + the serving-throughput and paging experiments.
+        assert_eq!(ExperimentId::all().len(), 20);
     }
 
     #[test]

@@ -128,7 +128,9 @@ pub fn serve_throughput_report(samples: usize) -> (Table, Vec<PolicyServingSumma
         let mut server = Server::new(&model, ServerConfig::new(policy, budget, pool_bytes))
             .expect("serving config is valid");
         for request in request_stream(num_requests) {
-            server.submit(request);
+            server
+                .submit(request)
+                .expect("synthetic requests carry no overrides");
         }
         server.run(step_budget);
         let stats = *server.stats();

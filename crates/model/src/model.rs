@@ -6,6 +6,7 @@ use crate::decoder::decoder_layer_forward;
 use crate::positional::PositionalEncoding;
 use crate::stats::AttentionStats;
 use crate::weights::ModelWeights;
+use keyformer_core::block::SharedBlockPool;
 use keyformer_core::cache::KvCache;
 use keyformer_core::observation::Phase;
 use keyformer_core::policy::KvCachePolicy;
@@ -63,12 +64,25 @@ impl TransformerModel {
         &self.weights
     }
 
-    /// Creates an empty KV cache with this model's shape.
+    /// Creates an empty KV cache with this model's shape, backed by a private
+    /// unbounded block pool.
     pub fn empty_cache(&self) -> KvCache {
         KvCache::new(
             self.config.num_layers,
             self.config.num_heads,
             self.config.head_dim(),
+        )
+    }
+
+    /// Creates an empty KV cache with this model's shape whose layers allocate
+    /// from `pool` — how the serving layer makes every session contend for one
+    /// shared, bounded block pool.
+    pub fn empty_cache_in(&self, pool: SharedBlockPool) -> KvCache {
+        KvCache::with_pool(
+            self.config.num_layers,
+            self.config.num_heads,
+            self.config.head_dim(),
+            pool,
         )
     }
 

@@ -18,11 +18,21 @@
 //!   path and [`crate::engine::InferenceEngine::generate`] share this single
 //!   implementation, so serving a request produces token-identical output to
 //!   running it alone.
+//!
+//! With [`Session::set_prefill_chunk`], the prefill phase itself becomes
+//! stepwise: [`Session::begin`] only validates and arms the prompt, and each
+//! [`Session::advance_prefill`] forwards at most one chunk of prompt tokens —
+//! resumable mid-prompt, so a scheduler can interleave long prefills with other
+//! sessions' decodes (and pause them when a strict block pool runs dry).
+//! Chunking never changes what is generated: the forward sequence is identical
+//! to one-shot prefill, and the end-of-prompt eviction still happens exactly
+//! once, after the final prompt token.
 
 use crate::config::ModelConfig;
 use crate::generation::{GenerationConfig, GenerationOutput, SamplingStrategy};
 use crate::model::{ForwardContext, TransformerModel};
 use crate::stats::AttentionStats;
+use keyformer_core::block::SharedBlockPool;
 use keyformer_core::budget::{CacheBudget, CacheBudgetSpec};
 use keyformer_core::cache::KvCache;
 use keyformer_core::observation::Phase;
@@ -54,6 +64,30 @@ struct DecodeState {
     finished: bool,
 }
 
+/// An in-flight chunked prefill armed by [`Session::begin`] and advanced by
+/// [`Session::advance_prefill`].
+#[derive(Debug)]
+struct PrefillState {
+    prompt: Vec<u32>,
+    config: GenerationConfig,
+    /// Prompt tokens already forwarded.
+    processed: usize,
+}
+
+/// Progress report of one [`Session::advance_prefill`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefillProgress {
+    /// Prompt tokens forwarded by this call.
+    pub processed: usize,
+    /// Prompt tokens still to forward.
+    pub remaining: usize,
+    /// `true` once the prefill completed and the decode is armed.
+    pub ready: bool,
+    /// `true` when the call stopped early because the block pool had no room
+    /// (strict pools only); call again once blocks have been freed.
+    pub stalled: bool,
+}
+
 /// The result of one decode step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SessionStep {
@@ -75,6 +109,13 @@ pub struct Session<'m> {
     sequence: Vec<u32>,
     stats: Option<AttentionStats>,
     peak_cache_bytes: usize,
+    prefill_chunk: Option<usize>,
+    /// Blocks the scheduler reserved for this session in the shared pool (0
+    /// outside a serving context). Lets the strict-pool prefill pre-flight
+    /// distinguish growth within the session's own reservation from transient
+    /// growth that must not consume blocks other sessions are owed.
+    block_reservation: usize,
+    prefill: Option<PrefillState>,
     decode: Option<DecodeState>,
 }
 
@@ -86,8 +127,29 @@ impl<'m> Session<'m> {
         policy: Box<dyn KvCachePolicy>,
         budget_spec: Option<CacheBudgetSpec>,
     ) -> Self {
+        Self::with_cache(model.empty_cache(), model, policy, budget_spec)
+    }
+
+    /// Creates a session whose KV cache allocates from `pool`, so its blocks
+    /// contend with — and are reclaimed by — every other session sharing the
+    /// pool. This is the constructor the serving scheduler uses.
+    pub fn with_pool(
+        model: &'m TransformerModel,
+        policy: Box<dyn KvCachePolicy>,
+        budget_spec: Option<CacheBudgetSpec>,
+        pool: SharedBlockPool,
+    ) -> Self {
+        Self::with_cache(model.empty_cache_in(pool), model, policy, budget_spec)
+    }
+
+    fn with_cache(
+        cache: KvCache,
+        model: &'m TransformerModel,
+        policy: Box<dyn KvCachePolicy>,
+        budget_spec: Option<CacheBudgetSpec>,
+    ) -> Self {
         Session {
-            cache: model.empty_cache(),
+            cache,
             model,
             policy,
             budget_spec,
@@ -95,8 +157,48 @@ impl<'m> Session<'m> {
             sequence: Vec::new(),
             stats: None,
             peak_cache_bytes: 0,
+            prefill_chunk: None,
+            block_reservation: 0,
+            prefill: None,
             decode: None,
         }
+    }
+
+    /// Sets the chunked-prefill granularity: `Some(n)` makes [`Session::begin`]
+    /// arm the prompt without forwarding it, with each
+    /// [`Session::advance_prefill`] processing at most `n` prompt tokens;
+    /// `None` (the default) restores one-shot prefill inside `begin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == Some(0)`.
+    pub fn set_prefill_chunk(&mut self, chunk: Option<usize>) {
+        assert!(chunk != Some(0), "prefill chunk must be at least 1 token");
+        self.prefill_chunk = chunk;
+    }
+
+    /// Builder form of [`Session::set_prefill_chunk`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn with_prefill_chunk(mut self, chunk: usize) -> Self {
+        self.set_prefill_chunk(Some(chunk));
+        self
+    }
+
+    /// The configured chunked-prefill granularity, if any.
+    pub fn prefill_chunk(&self) -> Option<usize> {
+        self.prefill_chunk
+    }
+
+    /// Records how many pool blocks the scheduler reserved for this session,
+    /// so the strict-pool prefill pre-flight can leave other sessions'
+    /// reserved-but-unallocated blocks untouched. Defaults to 0 (standalone
+    /// sessions, or every session on an `AllowTransient` pool, where the value
+    /// is unused).
+    pub fn set_block_reservation(&mut self, blocks: usize) {
+        self.block_reservation = blocks;
     }
 
     /// Enables attention-statistics collection (sparsity, CDFs, heat maps).
@@ -156,13 +258,16 @@ impl<'m> Session<'m> {
         &self.sequence
     }
 
-    /// Clears all per-sequence state, making the session reusable for a new request.
+    /// Clears all per-sequence state (including an unfinished chunked prefill,
+    /// whose blocks go straight back to the pool), making the session reusable
+    /// for a new request.
     pub fn reset(&mut self) {
         self.cache.clear();
         self.policy.reset();
         self.sequence.clear();
         self.budget = None;
         self.peak_cache_bytes = 0;
+        self.prefill = None;
         self.decode = None;
         if let Some(stats) = &mut self.stats {
             stats.clear();
@@ -238,10 +343,14 @@ impl<'m> Session<'m> {
         Ok(logits)
     }
 
-    /// Runs the prefill phase for `prompt` and arms a stepwise decode of up to
-    /// `config.max_new_tokens` tokens. Any previous per-sequence state (including an
-    /// unfinished decode) is discarded — even when `begin` returns an error, so a
-    /// stale [`Session::take_output`] can never be misattributed to the new request.
+    /// Arms a stepwise decode of up to `config.max_new_tokens` tokens for
+    /// `prompt`, running the prefill phase according to the configured
+    /// granularity: with the default one-shot prefill the whole prompt is
+    /// forwarded here; with [`Session::set_prefill_chunk`] the prompt is only
+    /// validated and armed, and [`Session::advance_prefill`] does the forwards.
+    /// Any previous per-sequence state (including an unfinished prefill or
+    /// decode) is discarded — even when `begin` returns an error, so a stale
+    /// [`Session::take_output`] can never be misattributed to the new request.
     ///
     /// # Errors
     ///
@@ -249,6 +358,9 @@ impl<'m> Session<'m> {
     /// out-of-vocabulary tokens, and propagates policy-contract violations.
     pub fn begin(&mut self, prompt: &[u32], config: &GenerationConfig) -> Result<(), CoreError> {
         self.reset();
+        if prompt.is_empty() {
+            return Err(CoreError::InvalidConfig("prompt must be non-empty".into()));
+        }
         for &tok in prompt {
             if tok as usize >= self.model.config().vocab_size {
                 return Err(CoreError::InvalidConfig(format!(
@@ -257,18 +369,127 @@ impl<'m> Session<'m> {
                 )));
             }
         }
+        if self.prefill_chunk.is_some() {
+            self.budget = self
+                .budget_spec
+                .map(|spec| spec.for_prompt_len(prompt.len()));
+            self.prefill = Some(PrefillState {
+                prompt: prompt.to_vec(),
+                config: *config,
+                processed: 0,
+            });
+            return Ok(());
+        }
         let logits = self.process_prompt(prompt, config.max_new_tokens)?;
+        self.arm_decode(prompt.len(), prompt.last().copied(), config, logits);
+        Ok(())
+    }
+
+    fn arm_decode(
+        &mut self,
+        prompt_len: usize,
+        last_prompt_token: Option<u32>,
+        config: &GenerationConfig,
+        logits: Vec<f32>,
+    ) {
         self.decode = Some(DecodeState {
             config: *config,
             rng: StdRng::seed_from_u64(config.seed),
             logits,
             generated: Vec::with_capacity(config.max_new_tokens),
-            penalised: prompt.last().copied().into_iter().collect(),
-            prompt_len: prompt.len(),
+            penalised: last_prompt_token.into_iter().collect(),
+            prompt_len,
             step: 0,
             finished: config.max_new_tokens == 0,
         });
-        Ok(())
+    }
+
+    /// Forwards the next chunk of an armed prompt (at most
+    /// [`Session::prefill_chunk`] tokens). When the final prompt token has been
+    /// forwarded, the end-of-prompt eviction runs — freeing its blocks back to
+    /// the pool at that instant — and the decode is armed, exactly as one-shot
+    /// [`Session::begin`] would have done; the generated tokens are therefore
+    /// identical whatever the chunking.
+    ///
+    /// Against a bounded *strict* block pool the call stops early (with
+    /// [`PrefillProgress::stalled`]) instead of failing when the pool cannot
+    /// cover the next token; the prefill stays resumable and should be retried
+    /// once another sequence frees blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if no prefill is in progress, and
+    /// propagates forward and eviction errors — after which the session holds
+    /// neither a prefill nor a decode, so a scheduler can retire it safely.
+    pub fn advance_prefill(&mut self) -> Result<PrefillProgress, CoreError> {
+        let Some(mut p) = self.prefill.take() else {
+            return Err(CoreError::InvalidConfig(
+                "no prefill in progress; call begin() with a prefill chunk first".into(),
+            ));
+        };
+        let chunk = self.prefill_chunk.unwrap_or(usize::MAX).max(1);
+        let mut processed_now = 0;
+        let mut logits = Vec::new();
+        let mut stalled = false;
+        while p.processed < p.prompt.len() && processed_now < chunk {
+            // Pre-flight the worst-case block need of one token so a strict
+            // pool pauses the prefill cleanly instead of failing it mid-layer.
+            // The reservation-aware check also refuses to grow the prefill
+            // transient into blocks other sessions have reserved but not yet
+            // allocated (a decoder's capacity+1 step would otherwise fail).
+            let needed = self.cache.blocks_needed_for_next_token();
+            if needed > 0
+                && !self.cache.pool().can_allocate_transient(
+                    needed,
+                    self.cache.total_blocks(),
+                    self.block_reservation,
+                )
+            {
+                stalled = true;
+                break;
+            }
+            let pos = p.processed;
+            logits = self.forward(
+                p.prompt[pos],
+                pos,
+                Phase::Prompt,
+                pos,
+                p.config.max_new_tokens,
+            )?;
+            p.processed += 1;
+            processed_now += 1;
+        }
+        if p.processed == p.prompt.len() {
+            // The paper reduces the cache once, at the end of the prompt phase.
+            self.evict_to_budget()?;
+            self.arm_decode(p.prompt.len(), p.prompt.last().copied(), &p.config, logits);
+            return Ok(PrefillProgress {
+                processed: processed_now,
+                remaining: 0,
+                ready: true,
+                stalled: false,
+            });
+        }
+        let remaining = p.prompt.len() - p.processed;
+        self.prefill = Some(p);
+        Ok(PrefillProgress {
+            processed: processed_now,
+            remaining,
+            ready: false,
+            stalled,
+        })
+    }
+
+    /// `true` while an armed chunked prefill still has prompt tokens to forward.
+    pub fn is_prefilling(&self) -> bool {
+        self.prefill.is_some()
+    }
+
+    /// Prompt tokens an in-flight chunked prefill still has to forward.
+    pub fn prefill_remaining(&self) -> usize {
+        self.prefill
+            .as_ref()
+            .map_or(0, |p| p.prompt.len() - p.processed)
     }
 
     /// `true` while a decode armed by [`Session::begin`] still has steps to run.
@@ -392,6 +613,19 @@ impl<'m> Session<'m> {
         config: &GenerationConfig,
     ) -> Result<GenerationOutput, CoreError> {
         self.begin(prompt, config)?;
+        while self.is_prefilling() {
+            let progress = self.advance_prefill()?;
+            if progress.stalled && progress.processed == 0 {
+                // Nothing else shares this pool in a standalone generate, so a
+                // stall can never resolve: surface it instead of spinning.
+                let stats = self.cache.pool().stats();
+                self.reset();
+                return Err(CoreError::PoolExhausted {
+                    in_use: stats.in_use,
+                    capacity: stats.capacity_blocks.unwrap_or(usize::MAX),
+                });
+            }
+        }
         while self.is_decoding() {
             self.step()?;
         }
@@ -616,6 +850,138 @@ mod tests {
             .is_err());
         assert!(session.take_output().is_none());
         assert!(session.sequence().is_empty());
+    }
+
+    #[test]
+    fn chunked_prefill_is_token_identical_to_one_shot() {
+        let model = ModelFamily::Tiny.build(8);
+        let spec = CacheBudgetSpec::new(0.5, 0.3).unwrap();
+        let config = GenerationConfig::new(6);
+        let one_shot = Session::new(
+            &model,
+            PolicySpec::keyformer_default().build().unwrap(),
+            Some(spec),
+        )
+        .generate(&prompt(25), &config)
+        .unwrap();
+        for chunk in [1usize, 4, 7, 25, 100] {
+            let mut chunked = Session::new(
+                &model,
+                PolicySpec::keyformer_default().build().unwrap(),
+                Some(spec),
+            )
+            .with_prefill_chunk(chunk);
+            chunked.begin(&prompt(25), &config).unwrap();
+            assert!(chunked.is_prefilling());
+            assert!(!chunked.is_decoding());
+            let mut calls = 0;
+            while chunked.is_prefilling() {
+                let progress = chunked.advance_prefill().unwrap();
+                assert!(progress.processed > 0);
+                assert!(progress.processed <= chunk);
+                calls += 1;
+            }
+            assert_eq!(calls, 25usize.div_ceil(chunk));
+            while chunked.is_decoding() {
+                chunked.step().unwrap();
+            }
+            assert_eq!(
+                chunked.take_output().unwrap(),
+                one_shot,
+                "chunk size {chunk} diverged from one-shot prefill"
+            );
+        }
+    }
+
+    #[test]
+    fn advance_prefill_without_begin_is_an_error() {
+        let model = ModelFamily::Tiny.build(1);
+        let mut session =
+            Session::new(&model, PolicySpec::Full.build().unwrap(), None).with_prefill_chunk(4);
+        assert!(session.advance_prefill().is_err());
+        // Stepping before the prefill finished is also an error.
+        session
+            .begin(&prompt(9), &GenerationConfig::new(2))
+            .unwrap();
+        assert!(session.step().is_err());
+        assert_eq!(session.prefill_remaining(), 9);
+    }
+
+    #[test]
+    fn aborting_mid_prefill_returns_every_block_to_the_pool() {
+        use keyformer_core::block::SharedBlockPool;
+        let model = ModelFamily::Tiny.build(2);
+        let pool = SharedBlockPool::unbounded(4);
+        let mut session = Session::with_pool(
+            &model,
+            PolicySpec::keyformer_default().build().unwrap(),
+            Some(CacheBudgetSpec::new(0.5, 0.3).unwrap()),
+            pool.clone(),
+        )
+        .with_prefill_chunk(5);
+        session
+            .begin(&prompt(20), &GenerationConfig::new(4))
+            .unwrap();
+        session.advance_prefill().unwrap();
+        assert!(pool.blocks_in_use() > 0);
+        session.reset();
+        assert_eq!(pool.blocks_in_use(), 0, "aborted prefill leaked blocks");
+        assert!(!session.is_prefilling());
+        // The session remains fully usable against the same pool.
+        let out = session
+            .generate(&prompt(20), &GenerationConfig::new(4))
+            .unwrap();
+        assert_eq!(out.generated.len(), 4);
+    }
+
+    #[test]
+    fn strict_pool_stalls_prefill_and_resumes_when_blocks_free_up() {
+        use keyformer_core::block::{OvercommitPolicy, SharedBlockPool};
+        let model = ModelFamily::Tiny.build(3);
+        // 2 layers x 4-slot blocks, 8 blocks total. A neighbour sequence holds
+        // 4 of them, so a 14-token prompt (needing all 8) must pause halfway.
+        let pool = SharedBlockPool::bounded(4, 8, OvercommitPolicy::Strict).unwrap();
+        let mut blocker = Session::with_pool(
+            &model,
+            PolicySpec::Full.build().unwrap(),
+            None,
+            pool.clone(),
+        );
+        blocker
+            .generate(&prompt(6), &GenerationConfig::new(1))
+            .unwrap();
+        assert_eq!(pool.blocks_in_use(), 4);
+
+        let mut session = Session::with_pool(
+            &model,
+            PolicySpec::Full.build().unwrap(),
+            None,
+            pool.clone(),
+        )
+        .with_prefill_chunk(14);
+        session
+            .begin(&prompt(14), &GenerationConfig::new(2))
+            .unwrap();
+        let progress = session.advance_prefill().unwrap();
+        assert!(progress.stalled);
+        assert_eq!(progress.processed, 8, "filled the 2 free blocks per layer");
+        assert!(session.is_prefilling());
+        // Retrying without help makes no progress but stays resumable.
+        let retry = session.advance_prefill().unwrap();
+        assert!(retry.stalled);
+        assert_eq!(retry.processed, 0);
+        assert_eq!(retry.remaining, 6);
+        // The neighbour retires, returning its blocks; the prefill resumes,
+        // completes and decodes normally.
+        drop(blocker);
+        assert_eq!(pool.blocks_in_use(), 4);
+        let resumed = session.advance_prefill().unwrap();
+        assert!(resumed.ready);
+        assert_eq!(resumed.processed, 6);
+        while session.is_decoding() {
+            session.step().unwrap();
+        }
+        assert_eq!(session.take_output().unwrap().generated.len(), 2);
     }
 
     #[test]

@@ -5,11 +5,15 @@
 //! its own per-sequence [`Session`] (KV cache, policy instance, budget).
 //!
 //! This is the layer where the paper's headline claim becomes end-to-end
-//! observable: Keyformer shrinks each sequence's KV footprint, the byte-pool
-//! admission control turns that into *more concurrent sequences*, and the batched
-//! scheduler turns concurrency into *more requests completed per decode-step
-//! budget* (Adnan et al., MLSys 2024, §6.3). See `docs/SERVING.md` for queue
-//! semantics and the throughput experiment.
+//! observable: Keyformer shrinks each sequence's KV footprint, block-reservation
+//! admission against a shared paged [`SharedBlockPool`] turns that into *more
+//! concurrent sequences*, and the batched scheduler turns concurrency into
+//! *more requests completed per decode-step budget* (Adnan et al., MLSys 2024,
+//! §6.3). Blocks freed by an eviction or a retirement are instantly reusable by
+//! any other sequence; chunked prefill spreads long prompts across scheduler
+//! steps and lets strict pools pause (rather than fail) a prefill that runs out
+//! of blocks. See `docs/SERVING.md` for queue semantics, block-pool sizing and
+//! the throughput/paging experiments.
 //!
 //! ```
 //! use keyformer_core::{CacheBudgetSpec, PolicySpec};
@@ -29,7 +33,7 @@
 //! )?;
 //! for i in 0..4 {
 //!     let prompt: Vec<u32> = (0..24).map(|t| (t * 7 + i) % 100).collect();
-//!     server.submit(Request::new(u64::from(i), prompt, GenerationConfig::new(6)));
+//!     server.submit(Request::new(u64::from(i), prompt, GenerationConfig::new(6)))?;
 //! }
 //! server.run(256);
 //! assert_eq!(server.completions().len(), 4);
@@ -38,6 +42,7 @@
 //!
 //! [`TransformerModel`]: keyformer_model::model::TransformerModel
 //! [`Session`]: keyformer_model::session::Session
+//! [`SharedBlockPool`]: keyformer_core::block::SharedBlockPool
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,5 +50,5 @@
 pub mod request;
 pub mod server;
 
-pub use request::{Completion, FailedRequest, FailureReason, Request, RequestId};
-pub use server::{Server, ServerConfig, ServerStats};
+pub use request::{Completion, FailedRequest, FailureReason, Request, RequestId, RequestOverrides};
+pub use server::{Server, ServerConfig, ServerStats, DEFAULT_SERVE_BLOCK_SIZE};

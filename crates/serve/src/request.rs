@@ -1,5 +1,7 @@
 //! Request and completion types of the serving layer.
 
+use keyformer_core::budget::CacheBudgetSpec;
+use keyformer_core::spec::PolicySpec;
 use keyformer_core::CoreError;
 use keyformer_model::generation::{GenerationConfig, GenerationOutput};
 use serde::{Deserialize, Serialize};
@@ -28,7 +30,50 @@ impl std::fmt::Display for RequestId {
     }
 }
 
-/// One generation request: a prompt plus its generation configuration.
+/// Per-request overrides of the server's default cache policy and budget,
+/// validated when the request is submitted.
+///
+/// The plain default (`RequestOverrides::default()`) inherits everything from
+/// the [`crate::ServerConfig`]; see [`Request::with_policy`],
+/// [`Request::with_budget`] and [`Request::with_unbudgeted`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RequestOverrides {
+    /// Cache policy to run instead of the server default.
+    pub policy: Option<PolicySpec>,
+    /// KV budget to apply instead of the server default.
+    pub budget: Option<CacheBudgetSpec>,
+    /// Forces the request to run unbudgeted (never evicted), overriding both
+    /// the server default and `budget`. Mutually exclusive with `budget`.
+    pub unbudgeted: bool,
+}
+
+impl RequestOverrides {
+    /// `true` when every field inherits the server default.
+    pub fn is_default(&self) -> bool {
+        self.policy.is_none() && self.budget.is_none() && !self.unbudgeted
+    }
+
+    /// Validates the overrides (the check [`crate::Server::submit`] runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if an overriding policy spec does
+    /// not build, or if `budget` and `unbudgeted` are both set.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if let Some(policy) = self.policy {
+            policy.build()?;
+        }
+        if self.unbudgeted && self.budget.is_some() {
+            return Err(CoreError::InvalidConfig(
+                "request cannot both override the budget and request unbudgeted decoding".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One generation request: a prompt plus its generation configuration and
+/// optional per-request policy/budget overrides.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
     /// Caller-chosen identifier; echoed back in the completion.
@@ -37,15 +82,53 @@ pub struct Request {
     pub prompt: Vec<u32>,
     /// Sampling / length configuration, including the per-request seed.
     pub config: GenerationConfig,
+    /// Per-request policy/budget overrides (defaults inherit the server config).
+    pub overrides: RequestOverrides,
 }
 
 impl Request {
-    /// Convenience constructor.
+    /// Convenience constructor inheriting the server's policy and budget.
     pub fn new(id: u64, prompt: Vec<u32>, config: GenerationConfig) -> Self {
         Request {
             id: RequestId::new(id),
             prompt,
             config,
+            overrides: RequestOverrides::default(),
+        }
+    }
+
+    /// Runs this request under `policy` instead of the server default.
+    pub fn with_policy(mut self, policy: PolicySpec) -> Self {
+        self.overrides.policy = Some(policy);
+        self
+    }
+
+    /// Applies `budget` to this request instead of the server default.
+    pub fn with_budget(mut self, budget: CacheBudgetSpec) -> Self {
+        self.overrides.budget = Some(budget);
+        self.overrides.unbudgeted = false;
+        self
+    }
+
+    /// Runs this request unbudgeted (full attention footprint) even if the
+    /// server default applies a budget.
+    pub fn with_unbudgeted(mut self) -> Self {
+        self.overrides.unbudgeted = true;
+        self.overrides.budget = None;
+        self
+    }
+
+    /// The policy this request runs under, given the server default.
+    pub fn effective_policy(&self, default: PolicySpec) -> PolicySpec {
+        self.overrides.policy.unwrap_or(default)
+    }
+
+    /// The budget this request runs under, given the server default.
+    pub fn effective_budget(&self, default: Option<CacheBudgetSpec>) -> Option<CacheBudgetSpec> {
+        if self.overrides.unbudgeted {
+            None
+        } else {
+            self.overrides.budget.or(default)
         }
     }
 }
@@ -147,6 +230,51 @@ mod tests {
         };
         assert_eq!(c.latency_steps(), 7);
         assert_eq!(c.queue_steps(), 3);
+    }
+
+    #[test]
+    fn overrides_validate_and_resolve() {
+        let default_policy = PolicySpec::Full;
+        let default_budget = Some(CacheBudgetSpec::new(0.5, 0.3).unwrap());
+        let plain = Request::new(1, vec![1, 2], GenerationConfig::new(2));
+        assert!(plain.overrides.is_default());
+        assert!(plain.overrides.validate().is_ok());
+        assert_eq!(plain.effective_policy(default_policy), default_policy);
+        assert_eq!(plain.effective_budget(default_budget), default_budget);
+
+        let tuned = Request::new(2, vec![1, 2], GenerationConfig::new(2))
+            .with_policy(PolicySpec::keyformer_default())
+            .with_budget(CacheBudgetSpec::new(0.25, 0.3).unwrap());
+        assert!(tuned.overrides.validate().is_ok());
+        assert_eq!(
+            tuned.effective_policy(default_policy),
+            PolicySpec::keyformer_default()
+        );
+        assert_eq!(
+            tuned
+                .effective_budget(default_budget)
+                .unwrap()
+                .cache_fraction(),
+            0.25
+        );
+
+        let unbudgeted = Request::new(3, vec![1, 2], GenerationConfig::new(2)).with_unbudgeted();
+        assert_eq!(unbudgeted.effective_budget(default_budget), None);
+
+        // An overriding policy that cannot build fails validation.
+        let broken = Request::new(4, vec![1, 2], GenerationConfig::new(2))
+            .with_policy(PolicySpec::Damped { alpha: 0.0 });
+        assert!(broken.overrides.validate().is_err());
+        // Budget + unbudgeted simultaneously is contradictory.
+        let contradictory = RequestOverrides {
+            policy: None,
+            budget: default_budget,
+            unbudgeted: true,
+        };
+        assert!(contradictory.validate().is_err());
+        // The builders keep the pair consistent in either order.
+        let rebudgeted = unbudgeted.with_budget(CacheBudgetSpec::new(0.5, 0.3).unwrap());
+        assert!(rebudgeted.overrides.validate().is_ok());
     }
 
     #[test]

@@ -1,35 +1,52 @@
-//! The continuous-batching scheduler.
+//! The continuous-batching scheduler over a paged KV block pool.
 //!
-//! [`Server`] owns a FIFO admission queue and a set of running [`Session`]s that
-//! all decode against one shared [`TransformerModel`]. Scheduling is
+//! [`Server`] owns a FIFO admission queue, a shared
+//! [`SharedBlockPool`] sized from [`ServerConfig::pool_bytes`], and a set of
+//! running [`Session`]s that all decode against one shared [`TransformerModel`]
+//! and all allocate their KV blocks from that one pool. Scheduling is
 //! iteration-level (Orca-style): every call to [`Server::step`] is one *batched
 //! decode iteration* —
 //!
-//! 1. **Admission.** Requests are popped from the queue head while the aggregate
-//!    *projected* KV footprint of the running set plus the candidate fits the
-//!    configured byte pool ([`ServerConfig::pool_bytes`]). Admission is strictly
-//!    FIFO: a too-large head blocks the queue (no reordering), which keeps
-//!    completion order deterministic and starvation-free. At most
-//!    [`ServerConfig::prefills_per_step`] prefills run per step, modelling the
-//!    prefill cost of a newly admitted request.
-//! 2. **Decode.** Every running session advances by exactly one token, in
-//!    admission order (round-robin at the granularity of a batched step).
-//!    Finished sessions are retired into [`Completion`]s; failing sessions are
-//!    retired into [`FailedRequest`]s — the scheduler never panics on a bad
-//!    request.
+//! 1. **Prefill continuation.** In-flight chunked prefills advance by one chunk
+//!    each (oldest first), up to [`ServerConfig::prefills_per_step`] chunk
+//!    executions per step. A prefill that a strict pool has starved of blocks
+//!    pauses (consuming no budget) and resumes once eviction or retirement
+//!    frees blocks.
+//! 2. **Admission.** Requests are popped from the queue head while the pool can
+//!    *reserve* their steady-state block count
+//!    ([`Server::reserved_blocks_for`]). Admission is strictly FIFO: a head
+//!    whose reservation does not fit blocks the queue (no reordering), which
+//!    keeps completion order deterministic and starvation-free. A request whose
+//!    reservation can never fit is retired as
+//!    [`FailureReason::TooLargeForPool`]. Per-request policy/budget overrides
+//!    (validated at submit time) are resolved here.
+//! 3. **Decode.** Every running session past its prefill advances by exactly
+//!    one token, in admission order. Finished sessions are retired into
+//!    [`Completion`]s; failing sessions are retired into [`FailedRequest`]s —
+//!    the scheduler never panics on a bad request. Retirement returns both the
+//!    reservation and the physical blocks to the pool in the same step.
 //!
-//! The *projected* footprint of a request is its steady-state decode footprint:
-//! with a [`CacheBudgetSpec`], the per-layer capacity derived from the prompt
-//! length; without one, the full `prompt + max_new_tokens` slots. Prefill
-//! transiently exceeds the steady state for budgeted policies (the cache fills to
-//! the whole prompt before the end-of-prompt eviction), exactly as in the paper;
-//! size the pool with that headroom in mind (see `docs/SERVING.md`).
+//! The admission *reservation* of a request is its steady-state decode
+//! footprint in blocks: with a [`CacheBudgetSpec`], the per-layer capacity
+//! derived from the prompt length; without one, the full
+//! `prompt + max_new_tokens` slots — each rounded up to whole blocks per layer.
+//! Prefill transiently exceeds the steady state for budgeted policies (the
+//! cache fills to the whole prompt before the end-of-prompt eviction), exactly
+//! as in the paper. Under the default [`OvercommitPolicy::AllowTransient`]
+//! discipline that spike is absorbed and *measured*
+//! ([`BlockPoolStats::peak_overshoot`]); with [`ServerConfig::with_strict_pool`]
+//! it is *enforced* — allocations past the pool hard-stop, chunked prefill
+//! pauses, and in-use blocks provably never exceed the pool (see
+//! `docs/SERVING.md`).
 //!
 //! This is what turns Keyformer's reduced KV footprint into throughput: at a
-//! fixed pool, a 50% budget admits roughly twice the concurrent sequences, so
-//! each batched step completes roughly twice the requests.
+//! fixed pool, a 50% budget reserves roughly half the blocks per sequence, so
+//! the same pool runs roughly twice the batch — and blocks freed by an eviction
+//! are instantly reusable by any other sequence instead of being stranded in a
+//! contiguous per-sequence buffer.
 
 use crate::request::{Completion, FailedRequest, FailureReason, Request, RequestId};
+use keyformer_core::block::{blocks_for_slots, BlockPoolStats, OvercommitPolicy, SharedBlockPool};
 use keyformer_core::budget::CacheBudgetSpec;
 use keyformer_core::spec::PolicySpec;
 use keyformer_core::CoreError;
@@ -38,24 +55,45 @@ use keyformer_model::session::Session;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
+/// Default token slots per block used by the serving layer.
+///
+/// Smaller than the core default so that admission quantisation stays tight at
+/// the pool sizes the experiments use: each sequence wastes at most
+/// `block_size - 1` slots per layer to internal fragmentation.
+pub const DEFAULT_SERVE_BLOCK_SIZE: usize = 8;
+
 /// Static configuration of a [`Server`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServerConfig {
-    /// Cache policy every admitted session runs.
+    /// Cache policy every admitted session runs (unless a request overrides it).
     pub policy: PolicySpec,
-    /// Relative KV budget applied per session (`None` = never evict).
+    /// Relative KV budget applied per session (`None` = never evict), unless a
+    /// request overrides it.
     pub budget: Option<CacheBudgetSpec>,
-    /// Aggregate projected-KV-byte pool shared by all running sessions.
+    /// KV-byte pool shared by all running sessions; converted to a block pool
+    /// of `pool_bytes / (block_size * per-layer slot bytes)` blocks.
     pub pool_bytes: usize,
     /// Hard cap on concurrently running sessions (defaults to unlimited).
     pub max_concurrency: usize,
-    /// Prefills executed per scheduler step (defaults to 1).
+    /// Prefill work units (whole prompts, or chunks when chunked) executed per
+    /// scheduler step (defaults to 1). Zero is rejected by
+    /// [`ServerConfig::validate`].
     pub prefills_per_step: usize,
+    /// Token slots per block (defaults to [`DEFAULT_SERVE_BLOCK_SIZE`]).
+    pub block_size: usize,
+    /// Prompt tokens forwarded per prefill work unit. `None` (the default) runs
+    /// each prompt one-shot inside its admission step; `Some(n)` spreads it
+    /// over `ceil(prompt_len / n)` steps, resumable mid-prompt.
+    pub prefill_chunk: Option<usize>,
+    /// When `true`, the block pool hard-enforces its capacity: allocations past
+    /// it fail and chunked prefills pause instead. Requires `prefill_chunk`.
+    pub strict_pool: bool,
 }
 
 impl ServerConfig {
     /// A configuration with the given policy, per-session budget and byte pool,
-    /// unlimited concurrency and one prefill per step.
+    /// unlimited concurrency, one prefill per step, the default block size and
+    /// one-shot prefill.
     pub fn new(policy: PolicySpec, budget: Option<CacheBudgetSpec>, pool_bytes: usize) -> Self {
         ServerConfig {
             policy,
@@ -63,6 +101,9 @@ impl ServerConfig {
             pool_bytes,
             max_concurrency: usize::MAX,
             prefills_per_step: 1,
+            block_size: DEFAULT_SERVE_BLOCK_SIZE,
+            prefill_chunk: None,
+            strict_pool: false,
         }
     }
 
@@ -72,9 +113,28 @@ impl ServerConfig {
         self
     }
 
-    /// Sets how many prefills may run per scheduler step.
+    /// Sets how many prefill work units may run per scheduler step. Zero is
+    /// not clamped — it fails [`ServerConfig::validate`].
     pub fn with_prefills_per_step(mut self, prefills: usize) -> Self {
-        self.prefills_per_step = prefills.max(1);
+        self.prefills_per_step = prefills;
+        self
+    }
+
+    /// Sets the token slots per block.
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Enables chunked prefill at `chunk` prompt tokens per scheduler step.
+    pub fn with_prefill_chunk(mut self, chunk: usize) -> Self {
+        self.prefill_chunk = Some(chunk);
+        self
+    }
+
+    /// Switches the pool's capacity discipline; see [`ServerConfig::strict_pool`].
+    pub fn with_strict_pool(mut self, strict: bool) -> Self {
+        self.strict_pool = strict;
         self
     }
 
@@ -82,12 +142,37 @@ impl ServerConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] if the pool is empty or the policy
-    /// spec itself does not build.
+    /// Returns [`CoreError::InvalidConfig`] if the pool is empty, the block
+    /// size or prefill chunk is zero, `prefills_per_step` is zero, a strict
+    /// pool lacks chunked prefill, or the policy spec itself does not build.
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.pool_bytes == 0 {
             return Err(CoreError::InvalidConfig(
                 "serving pool must be at least 1 byte".into(),
+            ));
+        }
+        if self.block_size == 0 {
+            return Err(CoreError::InvalidConfig(
+                "block size must be at least 1 token slot".into(),
+            ));
+        }
+        if self.prefills_per_step == 0 {
+            return Err(CoreError::InvalidConfig(
+                "prefills_per_step must be at least 1; a zero-prefill server could never \
+                 admit a request"
+                    .into(),
+            ));
+        }
+        if self.prefill_chunk == Some(0) {
+            return Err(CoreError::InvalidConfig(
+                "prefill chunk must be at least 1 token".into(),
+            ));
+        }
+        if self.strict_pool && self.prefill_chunk.is_none() {
+            return Err(CoreError::InvalidConfig(
+                "a strict pool requires chunked prefill, so prefills pause instead of \
+                 failing when the pool runs dry"
+                    .into(),
             ));
         }
         self.policy.build().map(|_| ())
@@ -102,27 +187,39 @@ struct Pending {
 struct Running<'m> {
     id: RequestId,
     session: Session<'m>,
-    projected_bytes: usize,
+    /// Blocks reserved against the pool at admission, returned at retirement.
+    reserved_blocks: usize,
     submitted_step: usize,
     admitted_step: usize,
 }
 
-/// Aggregate counters of one server's lifetime, used by the throughput
-/// experiment and the serving bench.
+/// Aggregate counters of one server's lifetime, used by the throughput and
+/// paging experiments and the serving bench.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct ServerStats {
     /// Scheduler steps executed.
     pub steps: usize,
     /// Token-level decode steps executed (sum of batch sizes over steps).
     pub decode_steps: usize,
-    /// Prefills executed.
+    /// Prefills completed (one per admitted request, however many chunks).
     pub prefills: usize,
+    /// Prefill work units executed (chunk advances; equals `prefills` for
+    /// one-shot prefill).
+    pub prefill_chunks: usize,
+    /// Times a chunked prefill paused because a strict pool had no block.
+    pub prefill_stalls: usize,
     /// Sum over steps of the live KV bytes at the end of the step (for means).
     pub live_kv_byte_steps: u64,
     /// Largest live KV byte footprint observed at the end of any step.
     pub peak_live_kv_bytes: usize,
     /// Largest number of concurrently running sessions observed.
     pub peak_concurrency: usize,
+    /// Sum over steps of live (occupied) token slots at the end of the step.
+    pub live_slot_steps: u64,
+    /// Sum over steps of slots covered by allocated blocks at the end of the
+    /// step. With `live_slot_steps`, this yields the pool-utilization metric
+    /// the paging experiment reports.
+    pub allocated_slot_steps: u64,
 }
 
 impl ServerStats {
@@ -143,13 +240,29 @@ impl ServerStats {
             self.decode_steps as f64 / self.steps as f64
         }
     }
+
+    /// Mean fraction of allocated block slots actually holding live tokens —
+    /// 1.0 minus internal fragmentation. Measured at end-of-step, i.e. at
+    /// steady state (after evictions and retirements of the step).
+    pub fn mean_pool_utilization(&self) -> f64 {
+        if self.allocated_slot_steps == 0 {
+            0.0
+        } else {
+            self.live_slot_steps as f64 / self.allocated_slot_steps as f64
+        }
+    }
 }
 
-/// A continuous-batching server over one shared model.
+/// A continuous-batching server over one shared model and one shared block pool.
 pub struct Server<'m> {
     model: &'m TransformerModel,
     config: ServerConfig,
     bytes_per_token: usize,
+    /// Bytes one block (of one layer) occupies.
+    bytes_per_block: usize,
+    total_blocks: usize,
+    num_layers: usize,
+    pool: SharedBlockPool,
     queue: VecDeque<Pending>,
     running: Vec<Running<'m>>,
     completed: Vec<Completion>,
@@ -163,13 +276,36 @@ impl<'m> Server<'m> {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] if the configuration is invalid.
+    /// Returns [`CoreError::InvalidConfig`] if the configuration is invalid or
+    /// the byte pool is smaller than a single block.
     pub fn new(model: &'m TransformerModel, config: ServerConfig) -> Result<Self, CoreError> {
         config.validate()?;
+        let cache = model.empty_cache();
+        let bytes_per_token = cache.bytes_per_token();
+        let num_layers = cache.num_layers();
+        let bytes_per_layer_slot = cache.layer(0).bytes_per_slot();
+        let bytes_per_block = config.block_size * bytes_per_layer_slot;
+        let total_blocks = config.pool_bytes / bytes_per_block;
+        if total_blocks == 0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "pool of {} bytes is smaller than one {}-slot block ({} bytes)",
+                config.pool_bytes, config.block_size, bytes_per_block
+            )));
+        }
+        let overcommit = if config.strict_pool {
+            OvercommitPolicy::Strict
+        } else {
+            OvercommitPolicy::AllowTransient
+        };
+        let pool = SharedBlockPool::bounded(config.block_size, total_blocks, overcommit)?;
         Ok(Server {
-            bytes_per_token: model.empty_cache().bytes_per_token(),
             model,
             config,
+            bytes_per_token,
+            bytes_per_block,
+            total_blocks,
+            num_layers,
+            pool,
             queue: VecDeque::new(),
             running: Vec::new(),
             completed: Vec::new(),
@@ -189,23 +325,70 @@ impl<'m> Server<'m> {
         self.bytes_per_token
     }
 
-    /// Steady-state projected KV footprint of `request` under this server's
-    /// budget: the per-layer slot capacity a running decode settles at, times the
-    /// per-token byte cost.
-    pub fn projected_kv_bytes(&self, request: &Request) -> usize {
-        let slots = match self.config.budget {
-            Some(spec) => spec.for_prompt_len(request.prompt.len()).capacity(),
+    /// Bytes one block (of one layer) occupies.
+    pub fn bytes_per_block(&self) -> usize {
+        self.bytes_per_block
+    }
+
+    /// The block capacity the byte pool converts to.
+    pub fn total_blocks(&self) -> usize {
+        self.total_blocks
+    }
+
+    /// The shared block pool every running session allocates from.
+    pub fn pool(&self) -> &SharedBlockPool {
+        &self.pool
+    }
+
+    /// Snapshot of the pool's allocator accounting.
+    pub fn pool_stats(&self) -> BlockPoolStats {
+        self.pool.stats()
+    }
+
+    /// Per-layer steady-state slot count of `request` under its effective
+    /// budget: the capacity a running decode settles at after the end-of-prompt
+    /// eviction, or the full sequence when unbudgeted.
+    fn steady_state_slots(&self, request: &Request) -> usize {
+        match request.effective_budget(self.config.budget) {
+            Some(spec) => {
+                let capacity = spec.for_prompt_len(request.prompt.len()).capacity();
+                if self.config.strict_pool {
+                    // Each decode step transiently holds capacity + 1 slots
+                    // between the append and the eviction; a strict pool must
+                    // reserve that slot, an overcommitting pool absorbs it.
+                    capacity + 1
+                } else {
+                    capacity
+                }
+            }
             // Unbudgeted caches grow to the full sequence (the final generated
             // token is never fed back, hence the saturating decrement).
             None => request.prompt.len() + request.config.max_new_tokens.saturating_sub(1),
-        };
-        slots * self.bytes_per_token
+        }
     }
 
-    /// Sum of projected footprints of the running sessions — the quantity
-    /// admission holds below [`ServerConfig::pool_bytes`].
+    /// Blocks reserved for `request` at admission: its steady-state slots
+    /// rounded up to whole blocks, per layer.
+    pub fn reserved_blocks_for(&self, request: &Request) -> usize {
+        self.num_layers * blocks_for_slots(self.steady_state_slots(request), self.config.block_size)
+    }
+
+    /// Worst-case blocks `request` ever holds, including the prefill transient
+    /// (the whole prompt is live just before the end-of-prompt eviction).
+    pub fn peak_blocks_for(&self, request: &Request) -> usize {
+        let peak_slots = self.steady_state_slots(request).max(request.prompt.len());
+        self.num_layers * blocks_for_slots(peak_slots, self.config.block_size)
+    }
+
+    /// Steady-state byte reservation of `request` at block granularity — the
+    /// quantity admission holds below the pool.
+    pub fn projected_kv_bytes(&self, request: &Request) -> usize {
+        self.reserved_blocks_for(request) * self.bytes_per_block
+    }
+
+    /// Bytes currently reserved by admitted requests, at block granularity.
     pub fn reserved_bytes(&self) -> usize {
-        self.running.iter().map(|r| r.projected_bytes).sum()
+        self.pool.blocks_reserved() * self.bytes_per_block
     }
 
     /// Actual live KV bytes across running sessions right now.
@@ -248,75 +431,160 @@ impl<'m> Server<'m> {
         &self.failed
     }
 
-    /// Enqueues a request. Requests are admitted in submission (FIFO) order.
-    pub fn submit(&mut self, request: Request) {
+    /// Enqueues a request, validating its per-request overrides. Requests are
+    /// admitted in submission (FIFO) order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the request's overrides are
+    /// invalid (a policy spec that does not build, or a budget override
+    /// combined with `unbudgeted`); the request is not enqueued.
+    pub fn submit(&mut self, request: Request) -> Result<(), CoreError> {
+        request.overrides.validate()?;
         self.queue.push_back(Pending {
             request,
             submitted_step: self.step,
         });
+        Ok(())
     }
 
-    fn admit(&mut self) {
-        let mut prefills = 0;
-        while prefills < self.config.prefills_per_step
-            && self.running.len() < self.config.max_concurrency
-        {
+    fn fail(&mut self, id: RequestId, reason: FailureReason) {
+        self.failed.push(FailedRequest {
+            id,
+            reason,
+            step: self.step,
+        });
+    }
+
+    /// Advances every in-flight chunked prefill by one chunk, oldest first,
+    /// consuming `budget` prefill work units. Stalled prefills (strict pool out
+    /// of blocks) consume no budget and stay resumable.
+    fn continue_prefills(&mut self, budget: &mut usize) {
+        let mut i = 0;
+        while i < self.running.len() && *budget > 0 {
+            if !self.running[i].session.is_prefilling() {
+                i += 1;
+                continue;
+            }
+            match self.running[i].session.advance_prefill() {
+                Ok(progress) => {
+                    if progress.stalled {
+                        self.stats.prefill_stalls += 1;
+                    }
+                    if progress.processed > 0 {
+                        *budget -= 1;
+                        self.stats.prefill_chunks += 1;
+                    }
+                    if progress.ready {
+                        self.stats.prefills += 1;
+                    }
+                    i += 1;
+                }
+                Err(e) => {
+                    let running = self.running.remove(i);
+                    self.pool.unreserve(running.reserved_blocks);
+                    self.fail(running.id, FailureReason::Engine(e));
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, budget: &mut usize) {
+        while *budget > 0 && self.running.len() < self.config.max_concurrency {
+            if self.config.strict_pool && self.running.iter().any(|r| r.session.is_prefilling()) {
+                // Strict pools serialize prefills: concurrent half-done
+                // prefills could each hold blocks the others need and stall
+                // each other forever. One at a time is deadlock-free, because
+                // decoding sessions always retire eventually.
+                break;
+            }
             let Some(front) = self.queue.front() else {
                 break;
             };
-            let projected = self.projected_kv_bytes(&front.request);
-            if projected > self.config.pool_bytes {
+            let reserved = self.reserved_blocks_for(&front.request);
+            let peak = self.peak_blocks_for(&front.request);
+            let impossible = reserved > self.total_blocks
+                || (self.config.strict_pool && peak > self.total_blocks);
+            if impossible {
                 // Can never fit, even alone: retire instead of deadlocking the
                 // FIFO queue behind it.
                 let pending = self.queue.pop_front().expect("front exists");
-                self.failed.push(FailedRequest {
-                    id: pending.request.id,
-                    reason: FailureReason::TooLargeForPool {
-                        projected_bytes: projected,
+                let blocks = if self.config.strict_pool {
+                    peak
+                } else {
+                    reserved
+                };
+                self.fail(
+                    pending.request.id,
+                    FailureReason::TooLargeForPool {
+                        projected_bytes: blocks * self.bytes_per_block,
                         pool_bytes: self.config.pool_bytes,
                     },
-                    step: self.step,
-                });
+                );
                 continue;
             }
-            if self.reserved_bytes() + projected > self.config.pool_bytes {
-                // FIFO: the head waits for memory; nothing behind it may jump.
+            if !self.pool.try_reserve(reserved) {
+                // FIFO: the head waits for blocks; nothing behind it may jump.
                 break;
             }
             let pending = self.queue.pop_front().expect("front exists");
-            let policy = match self.config.policy.build() {
+            let policy_spec = pending.request.effective_policy(self.config.policy);
+            let budget_spec = pending.request.effective_budget(self.config.budget);
+            let policy = match policy_spec.build() {
                 Ok(policy) => policy,
                 Err(e) => {
-                    // Unreachable after validate(), but a config error must not
-                    // take the server down.
-                    self.failed.push(FailedRequest {
-                        id: pending.request.id,
-                        reason: FailureReason::Engine(e),
-                        step: self.step,
-                    });
+                    // Unreachable after validate()/submit(), but a config error
+                    // must not take the server down.
+                    self.pool.unreserve(reserved);
+                    self.fail(pending.request.id, FailureReason::Engine(e));
                     continue;
                 }
             };
-            let mut session = Session::new(self.model, policy, self.config.budget);
+            let mut session =
+                Session::with_pool(self.model, policy, budget_spec, self.pool.clone());
+            session.set_prefill_chunk(self.config.prefill_chunk);
+            session.set_block_reservation(reserved);
             match session.begin(&pending.request.prompt, &pending.request.config) {
                 Ok(()) => {
-                    // Only a successful begin ran the forward passes, so only
-                    // then does the request consume this step's prefill slot.
-                    prefills += 1;
-                    self.stats.prefills += 1;
+                    if session.is_prefilling() {
+                        // Chunked: the first chunk runs in this step's prefill
+                        // budget, right here at admission.
+                        match session.advance_prefill() {
+                            Ok(progress) => {
+                                *budget -= 1;
+                                self.stats.prefill_chunks += 1;
+                                if progress.stalled {
+                                    self.stats.prefill_stalls += 1;
+                                }
+                                if progress.ready {
+                                    self.stats.prefills += 1;
+                                }
+                            }
+                            Err(e) => {
+                                self.pool.unreserve(reserved);
+                                self.fail(pending.request.id, FailureReason::Engine(e));
+                                continue;
+                            }
+                        }
+                    } else {
+                        // One-shot: the whole prompt ran inside begin(), so
+                        // only a successful begin consumes the prefill slot.
+                        *budget -= 1;
+                        self.stats.prefills += 1;
+                        self.stats.prefill_chunks += 1;
+                    }
                     self.running.push(Running {
                         id: pending.request.id,
                         session,
-                        projected_bytes: projected,
+                        reserved_blocks: reserved,
                         submitted_step: pending.submitted_step,
                         admitted_step: self.step,
                     })
                 }
-                Err(e) => self.failed.push(FailedRequest {
-                    id: pending.request.id,
-                    reason: FailureReason::Engine(e),
-                    step: self.step,
-                }),
+                Err(e) => {
+                    self.pool.unreserve(reserved);
+                    self.fail(pending.request.id, FailureReason::Engine(e));
+                }
             }
         }
     }
@@ -326,6 +594,11 @@ impl<'m> Server<'m> {
         let mut i = 0;
         while i < self.running.len() {
             let running = &mut self.running[i];
+            if running.session.is_prefilling() {
+                // Mid-prompt: nothing to decode yet.
+                i += 1;
+                continue;
+            }
             if running.session.is_decoding() {
                 match running.session.step() {
                     Ok(_) => {
@@ -334,11 +607,8 @@ impl<'m> Server<'m> {
                     }
                     Err(e) => {
                         let running = self.running.remove(i);
-                        self.failed.push(FailedRequest {
-                            id: running.id,
-                            reason: FailureReason::Engine(e),
-                            step: self.step,
-                        });
+                        self.pool.unreserve(running.reserved_blocks);
+                        self.fail(running.id, FailureReason::Engine(e));
                         continue;
                     }
                 }
@@ -347,10 +617,12 @@ impl<'m> Server<'m> {
                 i += 1;
             } else {
                 let mut done = self.running.remove(i);
+                self.pool.unreserve(done.reserved_blocks);
                 let output = done
                     .session
                     .take_output()
                     .expect("finished session has an output");
+                // Dropping the session below returns its blocks to the pool.
                 self.completed.push(Completion {
                     id: done.id,
                     output,
@@ -363,18 +635,28 @@ impl<'m> Server<'m> {
         executed
     }
 
-    /// Runs one batched scheduler step (admission + one decode token for every
-    /// running session) and returns the number of token-level decode steps
-    /// executed.
+    /// Runs one batched scheduler step (prefill continuation + admission + one
+    /// decode token for every running session past its prefill) and returns the
+    /// number of token-level decode steps executed.
     pub fn step(&mut self) -> usize {
         self.step += 1;
-        self.admit();
+        let mut prefill_budget = self.config.prefills_per_step;
+        self.continue_prefills(&mut prefill_budget);
+        self.admit(&mut prefill_budget);
         let executed = self.decode_round();
         self.stats.steps += 1;
         self.stats.peak_concurrency = self.stats.peak_concurrency.max(self.running.len());
         let live = self.live_kv_bytes();
         self.stats.live_kv_byte_steps += live as u64;
         self.stats.peak_live_kv_bytes = self.stats.peak_live_kv_bytes.max(live);
+        let live_slots: usize = self
+            .running
+            .iter()
+            .map(|r| r.session.cache().total_slots())
+            .sum();
+        self.stats.live_slot_steps += live_slots as u64;
+        self.stats.allocated_slot_steps +=
+            (self.pool.blocks_in_use() * self.config.block_size) as u64;
         executed
     }
 
@@ -403,6 +685,8 @@ mod tests {
             .collect()
     }
 
+    /// 4-slot blocks so the small test pools quantise tightly: with the Tiny
+    /// model's budgets below, reservations land exactly on block boundaries.
     fn keyformer_server(model: &TransformerModel, pool_tokens: usize) -> Server<'_> {
         let bytes = model.empty_cache().bytes_per_token();
         Server::new(
@@ -411,7 +695,8 @@ mod tests {
                 PolicySpec::keyformer_default(),
                 Some(CacheBudgetSpec::new(0.5, 0.3).unwrap()),
                 pool_tokens * bytes,
-            ),
+            )
+            .with_block_size(4),
         )
         .unwrap()
     }
@@ -426,10 +711,46 @@ mod tests {
     }
 
     #[test]
-    fn zero_pool_is_rejected() {
+    fn degenerate_configs_are_rejected() {
         let model = ModelFamily::Tiny.build(1);
-        let config = ServerConfig::new(PolicySpec::Full, None, 0);
-        assert!(Server::new(&model, config).is_err());
+        // Zero-byte pool.
+        assert!(Server::new(&model, ServerConfig::new(PolicySpec::Full, None, 0)).is_err());
+        // Pool smaller than a single block.
+        let bytes = model.empty_cache().bytes_per_token();
+        assert!(Server::new(
+            &model,
+            ServerConfig::new(PolicySpec::Full, None, bytes).with_block_size(64),
+        )
+        .is_err());
+        // Zero block size.
+        assert!(Server::new(
+            &model,
+            ServerConfig::new(PolicySpec::Full, None, 64 * bytes).with_block_size(0),
+        )
+        .is_err());
+        // Zero prefill chunk.
+        assert!(Server::new(
+            &model,
+            ServerConfig::new(PolicySpec::Full, None, 64 * bytes).with_prefill_chunk(0),
+        )
+        .is_err());
+        // Strict pools require chunked prefill.
+        assert!(Server::new(
+            &model,
+            ServerConfig::new(PolicySpec::Full, None, 64 * bytes).with_strict_pool(true),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn zero_prefills_per_step_is_rejected_not_clamped() {
+        let model = ModelFamily::Tiny.build(1);
+        let bytes = model.empty_cache().bytes_per_token();
+        let config =
+            ServerConfig::new(PolicySpec::Full, None, 64 * bytes).with_prefills_per_step(0);
+        assert_eq!(config.prefills_per_step, 0, "builder must not clamp");
+        let err = Server::new(&model, config).map(|_| ()).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig(_)), "{err}");
     }
 
     #[test]
@@ -437,7 +758,9 @@ mod tests {
         let model = ModelFamily::Tiny.build(2);
         let config = GenerationConfig::new(6);
         let mut server = keyformer_server(&model, 256);
-        server.submit(Request::new(1, prompt(24, 0), config));
+        server
+            .submit(Request::new(1, prompt(24, 0), config))
+            .unwrap();
         server.run(64);
         assert!(server.is_idle());
         let completions = server.completions();
@@ -449,20 +772,27 @@ mod tests {
         );
         let alone = engine.generate(&prompt(24, 0), &config);
         assert_eq!(completions[0].output, alone);
+        // Retirement returned every block to the pool.
+        assert_eq!(server.pool().blocks_in_use(), 0);
+        assert_eq!(server.pool().blocks_reserved(), 0);
     }
 
     #[test]
-    fn admission_respects_the_byte_pool() {
+    fn admission_respects_the_block_pool() {
         let model = ModelFamily::Tiny.build(3);
-        // Each request projects ceil(0.5 * 24) = 12 slots; a 30-slot pool fits
-        // exactly two concurrently.
+        // Each request reserves ceil(0.5 * 24) = 12 slots = 3 blocks per layer
+        // (block size 4, 2 layers => 6 blocks each); a 30-token pool converts
+        // to 15 blocks and therefore fits exactly two requests concurrently.
         let mut server = keyformer_server(&model, 30);
+        assert_eq!(server.total_blocks(), 15);
         for i in 0..4 {
-            server.submit(Request::new(
-                i,
-                prompt(24, i as u32),
-                GenerationConfig::new(5),
-            ));
+            server
+                .submit(Request::new(
+                    i,
+                    prompt(24, i as u32),
+                    GenerationConfig::new(5),
+                ))
+                .unwrap();
         }
         let mut max_running = 0;
         let mut max_reserved = 0;
@@ -479,6 +809,7 @@ mod tests {
         assert_eq!(max_reserved, 2 * 12 * server.bytes_per_token());
         assert_eq!(server.completions().len(), 4);
         assert_eq!(server.stats().peak_concurrency, 2);
+        assert_eq!(server.pool().blocks_in_use(), 0, "pool drained at idle");
     }
 
     #[test]
@@ -488,11 +819,13 @@ mod tests {
         // order exactly.
         let mut server = keyformer_server(&model, 12);
         for i in 0..3 {
-            server.submit(Request::new(
-                i,
-                prompt(20, i as u32),
-                GenerationConfig::new(4),
-            ));
+            server
+                .submit(Request::new(
+                    i,
+                    prompt(20, i as u32),
+                    GenerationConfig::new(4),
+                ))
+                .unwrap();
         }
         server.run(256);
         let ids: Vec<u64> = server.completions().iter().map(|c| c.id.raw()).collect();
@@ -508,14 +841,22 @@ mod tests {
     fn oversized_and_malformed_requests_fail_without_panicking() {
         let model = ModelFamily::Tiny.build(5);
         let mut server = keyformer_server(&model, 8);
-        // Projected 0.5 * 200 = 100 slots > 8-slot pool: rejected outright.
-        server.submit(Request::new(1, prompt(200, 1), GenerationConfig::new(4)));
+        // Reserved 0.5 * 200 = 100 slots/layer > 2-block/layer pool: rejected outright.
+        server
+            .submit(Request::new(1, prompt(200, 1), GenerationConfig::new(4)))
+            .unwrap();
         // Empty prompt: engine error at prefill.
-        server.submit(Request::new(2, Vec::new(), GenerationConfig::new(4)));
+        server
+            .submit(Request::new(2, Vec::new(), GenerationConfig::new(4)))
+            .unwrap();
         // Out-of-vocabulary prompt: engine error at prefill.
-        server.submit(Request::new(3, vec![9_999], GenerationConfig::new(4)));
+        server
+            .submit(Request::new(3, vec![9_999], GenerationConfig::new(4)))
+            .unwrap();
         // A well-formed request behind the bad ones still completes.
-        server.submit(Request::new(4, prompt(14, 4), GenerationConfig::new(3)));
+        server
+            .submit(Request::new(4, prompt(14, 4), GenerationConfig::new(3)))
+            .unwrap();
         server.run(64);
         assert!(server.is_idle());
         assert_eq!(server.failures().len(), 3);
@@ -533,6 +874,7 @@ mod tests {
         // prefills nor consume the step's prefill slot ahead of the valid one.
         assert_eq!(server.stats().prefills, 1);
         assert_eq!(server.completions()[0].admitted_step, 1);
+        assert_eq!(server.pool().blocks_reserved(), 0, "no reservation leaked");
     }
 
     #[test]
@@ -543,15 +885,17 @@ mod tests {
         let run_with = |budget: Option<CacheBudgetSpec>| {
             let mut server = Server::new(
                 &model,
-                ServerConfig::new(PolicySpec::keyformer_default(), budget, pool),
+                ServerConfig::new(PolicySpec::keyformer_default(), budget, pool).with_block_size(4),
             )
             .unwrap();
             for i in 0..6 {
-                server.submit(Request::new(
-                    i,
-                    prompt(32, i as u32),
-                    GenerationConfig::new(6),
-                ));
+                server
+                    .submit(Request::new(
+                        i,
+                        prompt(32, i as u32),
+                        GenerationConfig::new(6),
+                    ))
+                    .unwrap();
             }
             server.run(512);
             assert_eq!(server.completions().len(), 6);
@@ -566,24 +910,291 @@ mod tests {
     }
 
     #[test]
-    fn stats_track_batches_and_bytes() {
+    fn stats_track_batches_bytes_and_utilization() {
         let model = ModelFamily::Tiny.build(7);
         let mut server = keyformer_server(&model, 256);
         for i in 0..3 {
-            server.submit(Request::new(
-                i,
-                prompt(16, i as u32),
-                GenerationConfig::new(4),
-            ));
+            server
+                .submit(Request::new(
+                    i,
+                    prompt(16, i as u32),
+                    GenerationConfig::new(4),
+                ))
+                .unwrap();
         }
         server.run(64);
         let stats = server.stats();
         assert_eq!(stats.prefills, 3);
+        assert_eq!(stats.prefill_chunks, 3, "one-shot: one chunk per prefill");
         // 3 requests x 4 tokens; each request's final token costs a decode step
         // but no forward, so all 12 are counted.
         assert_eq!(stats.decode_steps, 12);
         assert!(stats.mean_batch_size() > 0.0);
         assert!(stats.mean_live_kv_bytes() > 0.0);
         assert!(stats.peak_live_kv_bytes > 0);
+        let utilization = stats.mean_pool_utilization();
+        assert!(
+            utilization > 0.5 && utilization <= 1.0,
+            "implausible utilization {utilization}"
+        );
+        let pool_stats = server.pool_stats();
+        assert!(pool_stats.total_allocs >= pool_stats.total_frees);
+        assert_eq!(pool_stats.in_use, 0);
+    }
+
+    #[test]
+    fn invalid_overrides_are_rejected_at_submit_time() {
+        let model = ModelFamily::Tiny.build(8);
+        let mut server = keyformer_server(&model, 64);
+        let bad_policy = Request::new(1, prompt(10, 0), GenerationConfig::new(2))
+            .with_policy(PolicySpec::Damped { alpha: 0.0 });
+        assert!(server.submit(bad_policy).is_err());
+        let mut contradictory = Request::new(2, prompt(10, 0), GenerationConfig::new(2));
+        contradictory.overrides.budget = Some(CacheBudgetSpec::new(0.5, 0.3).unwrap());
+        contradictory.overrides.unbudgeted = true;
+        assert!(server.submit(contradictory).is_err());
+        assert_eq!(server.queued(), 0, "rejected requests are not enqueued");
+    }
+
+    #[test]
+    fn per_request_overrides_take_effect() {
+        let model = ModelFamily::Tiny.build(9);
+        let bytes = model.empty_cache().bytes_per_token();
+        // Server default: full attention, unbudgeted.
+        let mut server = Server::new(
+            &model,
+            ServerConfig::new(PolicySpec::Full, None, 512 * bytes).with_block_size(4),
+        )
+        .unwrap();
+        let tight = CacheBudgetSpec::new(0.25, 0.3).unwrap();
+        let config = GenerationConfig::new(4);
+        server
+            .submit(Request::new(0, prompt(32, 0), config))
+            .unwrap();
+        server
+            .submit(
+                Request::new(1, prompt(32, 0), config)
+                    .with_policy(PolicySpec::keyformer_default())
+                    .with_budget(tight),
+            )
+            .unwrap();
+        server.run(64);
+        assert!(server.is_idle());
+        assert_eq!(server.completions().len(), 2);
+        let by_id = |id: u64| {
+            server
+                .completions()
+                .iter()
+                .find(|c| c.id.raw() == id)
+                .unwrap()
+        };
+        let default_slots = by_id(0).output.final_cache_slots.clone();
+        let overridden_slots = by_id(1).output.final_cache_slots.clone();
+        assert!(default_slots.iter().all(|&n| n == 35), "{default_slots:?}");
+        assert!(
+            overridden_slots.iter().all(|&n| n <= 8),
+            "override budget ignored: {overridden_slots:?}"
+        );
+        // The overridden request matches a standalone engine with the same
+        // policy + budget.
+        let mut engine = InferenceEngine::new(
+            &model,
+            PolicySpec::keyformer_default().build().unwrap(),
+            Some(tight),
+        );
+        assert_eq!(by_id(1).output, engine.generate(&prompt(32, 0), &config));
+        // And the unbudgeted override works in the other direction.
+        let mut budgeted_server = keyformer_server(&model, 512);
+        budgeted_server
+            .submit(Request::new(7, prompt(32, 0), config).with_unbudgeted())
+            .unwrap();
+        budgeted_server.run(64);
+        assert!(budgeted_server.completions()[0]
+            .output
+            .final_cache_slots
+            .iter()
+            .all(|&n| n == 35));
+    }
+
+    #[test]
+    fn chunked_prefill_serves_identically_and_spreads_prefill_cost() {
+        let model = ModelFamily::Tiny.build(10);
+        let bytes = model.empty_cache().bytes_per_token();
+        let pool = 128 * bytes;
+        let base = ServerConfig::new(
+            PolicySpec::keyformer_default(),
+            Some(CacheBudgetSpec::new(0.5, 0.3).unwrap()),
+            pool,
+        )
+        .with_block_size(4);
+        let run = |config: ServerConfig| {
+            let mut server = Server::new(&model, config).unwrap();
+            for i in 0..4 {
+                server
+                    .submit(Request::new(
+                        i,
+                        prompt(28, i as u32),
+                        GenerationConfig::new(5),
+                    ))
+                    .unwrap();
+            }
+            server.run(1024);
+            assert!(server.is_idle());
+            assert!(server.failures().is_empty());
+            let mut completions = server.completed.clone();
+            completions.sort_by_key(|c| c.id);
+            (completions, *server.stats())
+        };
+        let (one_shot, one_shot_stats) = run(base);
+        let (chunked, chunked_stats) = run(base.with_prefill_chunk(7));
+        assert_eq!(one_shot.len(), chunked.len());
+        for (a, b) in one_shot.iter().zip(&chunked) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                a.output, b.output,
+                "chunked prefill changed request {} output",
+                a.id
+            );
+        }
+        // A 28-token prompt at 7 tokens per chunk costs 4 prefill work units.
+        assert_eq!(chunked_stats.prefills, 4);
+        assert_eq!(chunked_stats.prefill_chunks, 16);
+        assert_eq!(one_shot_stats.prefill_chunks, 4);
+        // Chunked prefill spreads the prompt over steps, so completion comes
+        // later in scheduler-step terms...
+        assert!(chunked[0].completed_step > one_shot[0].completed_step);
+        // ...but no single step ever forwards more than chunk + batch tokens,
+        // where the one-shot server forwards prompt_len + batch in its
+        // admission step. (The per-step ceiling is what chunking buys.)
+    }
+
+    #[test]
+    fn strict_pool_never_exceeds_capacity_and_still_drains() {
+        let model = ModelFamily::Tiny.build(11);
+        let bytes = model.empty_cache().bytes_per_token();
+        // Tight pool: a 24-token unbudgeted request needs 12 of 16 blocks at
+        // its peak, so prefills must pause while decoders hold blocks.
+        let mut server = Server::new(
+            &model,
+            ServerConfig::new(PolicySpec::Full, None, 32 * bytes)
+                .with_block_size(4)
+                .with_prefill_chunk(6)
+                .with_strict_pool(true),
+        )
+        .unwrap();
+        let capacity = server.total_blocks();
+        for i in 0..5 {
+            server
+                .submit(Request::new(
+                    i,
+                    prompt(20, i as u32),
+                    GenerationConfig::new(4),
+                ))
+                .unwrap();
+        }
+        while !server.is_idle() {
+            server.step();
+            assert!(
+                server.pool().blocks_in_use() <= capacity,
+                "strict pool overshot: {} > {capacity}",
+                server.pool().blocks_in_use()
+            );
+        }
+        assert_eq!(server.completions().len(), 5);
+        assert!(server.failures().is_empty());
+        assert_eq!(server.pool_stats().peak_overshoot(), 0);
+        // Every completion still matches the sequential engine.
+        let mut engine = InferenceEngine::new(&model, PolicySpec::Full.build().unwrap(), None);
+        let alone = engine
+            .try_generate(&prompt(20, 0), &GenerationConfig::new(4))
+            .unwrap();
+        assert_eq!(server.completions()[0].output, alone);
+    }
+
+    #[test]
+    fn strict_prefill_transient_cannot_starve_a_decoders_reservation() {
+        // Regression: with a block-aligned budget (capacity 8, block size 4) a
+        // decoder's strict reservation is ceil(9/4) = 3 blocks per layer but
+        // its steady occupancy is 2 — one reserved block per layer sits
+        // unallocated between steps. A later prefill's transient must pause
+        // before eating those blocks, or the decoder's capacity+1 append fails
+        // and an admitted request dies as a spurious PoolExhausted failure.
+        let model = ModelFamily::Tiny.build(13);
+        let bytes = model.empty_cache().bytes_per_token();
+        let mut server = Server::new(
+            &model,
+            ServerConfig::new(
+                PolicySpec::keyformer_default(),
+                Some(CacheBudgetSpec::new(0.5, 0.3).unwrap()),
+                28 * bytes, // 14 blocks of 4 slots
+            )
+            .with_block_size(4)
+            .with_prefill_chunk(4)
+            .with_strict_pool(true),
+        )
+        .unwrap();
+        assert_eq!(server.total_blocks(), 14);
+        // A decodes (capacity 8, reservation 6 blocks) while B's 24-token
+        // prompt (peak 12 blocks, reservation 8) prefills alongside it.
+        server
+            .submit(Request::new(0, prompt(16, 0), GenerationConfig::new(6)))
+            .unwrap();
+        server
+            .submit(Request::new(1, prompt(24, 1), GenerationConfig::new(4)))
+            .unwrap();
+        let capacity = server.total_blocks();
+        while !server.is_idle() {
+            server.step();
+            assert!(server.pool().blocks_in_use() <= capacity);
+        }
+        assert!(
+            server.failures().is_empty(),
+            "reserved decoder blocks were stolen by a prefill transient: {:?}",
+            server.failures()
+        );
+        assert_eq!(server.completions().len(), 2);
+        assert!(
+            server.stats().prefill_stalls > 0,
+            "the scenario must actually exercise a stalled prefill"
+        );
+        assert_eq!(server.pool_stats().peak_overshoot(), 0);
+    }
+
+    #[test]
+    fn eviction_frees_blocks_for_waiting_prefills() {
+        let model = ModelFamily::Tiny.build(12);
+        let bytes = model.empty_cache().bytes_per_token();
+        // Budgeted requests settle at ceil(0.5*24)=12 slots = 3 blocks/layer,
+        // but hold 6 blocks/layer mid-prefill. A 10-block pool cannot hold one
+        // request's prefill peak (12 blocks) — only AllowTransient admits it,
+        // and the end-of-prompt eviction must return the overshoot immediately.
+        let mut server = Server::new(
+            &model,
+            ServerConfig::new(
+                PolicySpec::keyformer_default(),
+                Some(CacheBudgetSpec::new(0.5, 0.3).unwrap()),
+                20 * bytes,
+            )
+            .with_block_size(4),
+        )
+        .unwrap();
+        assert_eq!(server.total_blocks(), 10);
+        server
+            .submit(Request::new(0, prompt(24, 0), GenerationConfig::new(3)))
+            .unwrap();
+        server.step();
+        // After the admission step the prefill has run AND evicted: the
+        // transient 12-block peak is already back down to steady state.
+        let peak = server.pool_stats().peak_in_use;
+        assert!(peak >= 12, "prefill transient not visible in peak: {peak}");
+        assert!(
+            server.pool().blocks_in_use() <= 8,
+            "eviction did not reclaim blocks: {} in use",
+            server.pool().blocks_in_use()
+        );
+        assert!(server.pool_stats().peak_overshoot() >= 2);
+        server.run(64);
+        assert_eq!(server.completions().len(), 1);
+        assert_eq!(server.pool().blocks_in_use(), 0);
     }
 }

@@ -210,6 +210,24 @@ impl Matrix {
         self.rows += 1;
     }
 
+    /// Shrinks the matrix to its first `rows` rows, dropping the rest in place.
+    ///
+    /// This is the primitive the paged KV cache uses to give freed block tails
+    /// back to the allocator without reallocating the surviving rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows > self.rows()`.
+    pub fn truncate_rows(&mut self, rows: usize) {
+        assert!(
+            rows <= self.rows,
+            "cannot truncate {} rows to {rows}",
+            self.rows
+        );
+        self.data.truncate(rows * self.cols);
+        self.rows = rows;
+    }
+
     /// Returns a new matrix containing only the rows whose indices are listed in
     /// `indices`, in the order given. Indices may repeat.
     ///
@@ -455,6 +473,25 @@ mod tests {
     fn push_row_wrong_width_panics() {
         let mut m = Matrix::zeros(1, 3);
         m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn truncate_rows_drops_tail_in_place() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        m.truncate_rows(1);
+        assert_eq!(m.shape(), (1, 2));
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        m.truncate_rows(1); // no-op at the same size
+        assert_eq!(m.shape(), (1, 2));
+        m.truncate_rows(0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate")]
+    fn truncate_rows_rejects_growth() {
+        let mut m = Matrix::zeros(2, 2);
+        m.truncate_rows(3);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use keyformer::core::{CacheBudgetSpec, PolicySpec};
 use keyformer::model::families::ModelFamily;
 use keyformer::model::generation::GenerationConfig;
-use keyformer::serve::{Request, Server, ServerConfig};
+use keyformer::serve::{Request, Server, ServerConfig, DEFAULT_SERVE_BLOCK_SIZE};
 use keyformer::text::datasets::summarization::{SummarizationDataset, SummarizationSpec};
 
 fn main() {
@@ -29,8 +29,9 @@ fn main() {
         .map(|s| s.prompt.len() + s.reference.len())
         .max()
         .expect("dataset is non-empty");
-    // Pool sized so full attention fits two requests at a time.
-    let pool_bytes = 2 * max_len * bytes_per_token;
+    // Pool sized so full attention fits two requests at a time, with one block
+    // per layer of slack for the block-granularity rounding of reservations.
+    let pool_bytes = 2 * (max_len + DEFAULT_SERVE_BLOCK_SIZE) * bytes_per_token;
     let step_budget = 40;
     println!(
         "{} requests, KV pool {} KiB, budget {} scheduler steps\n",
@@ -50,11 +51,13 @@ fn main() {
         let mut server = Server::new(&model, ServerConfig::new(policy, budget, pool_bytes))
             .expect("valid serving config");
         for (i, sample) in dataset.samples().iter().enumerate() {
-            server.submit(Request::new(
-                i as u64,
-                sample.prompt.clone(),
-                GenerationConfig::new(sample.reference.len()),
-            ));
+            server
+                .submit(Request::new(
+                    i as u64,
+                    sample.prompt.clone(),
+                    GenerationConfig::new(sample.reference.len()),
+                ))
+                .expect("requests carry no overrides");
         }
         server.run(step_budget);
         let stats = server.stats();

@@ -1,0 +1,141 @@
+//! Chunked-prefill properties: for every policy in the zoo, arming a prompt
+//! with any chunk size and driving `advance_prefill` to completion, then
+//! decoding, is token-identical to one-shot prefill — chunking is purely a
+//! scheduling change, never a semantic one. Plus the mid-prefill edge cases:
+//! the end-of-prompt eviction lands on the final chunk and must return blocks
+//! to the shared pool at that instant, and an aborted mid-prompt prefill must
+//! leak nothing.
+
+use keyformer::core::block::SharedBlockPool;
+use keyformer::core::budget::CacheBudgetSpec;
+use keyformer::core::spec::PolicySpec;
+use keyformer::model::families::ModelFamily;
+use keyformer::model::generation::GenerationConfig;
+use keyformer::model::session::Session;
+use proptest::prelude::*;
+
+/// The whole policy zoo, each with the budget the experiments run it under
+/// (`None` only for the full-attention baseline).
+fn policy_zoo() -> Vec<(PolicySpec, Option<CacheBudgetSpec>)> {
+    let budget = Some(CacheBudgetSpec::new(0.5, 0.3).unwrap());
+    vec![
+        (PolicySpec::Full, None),
+        (PolicySpec::Window, budget),
+        (PolicySpec::DilatedWindow { dilation: 1 }, budget),
+        (PolicySpec::KeyOnly, budget),
+        (PolicySpec::h2o_default(), budget),
+        (PolicySpec::Damped { alpha: 0.9 }, budget),
+        (PolicySpec::streaming_default(), budget),
+        (PolicySpec::keyformer_default(), budget),
+    ]
+}
+
+fn synthetic_prompt(len: usize, salt: u32) -> Vec<u32> {
+    (0..len)
+        .map(|i| (i as u32 * 11 + 3 + salt * 29) % 120)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Chunked `begin` + `advance_prefill` + decode produces the same tokens,
+    /// cache shape and byte watermarks as one-shot prefill, for every policy
+    /// and every chunk size (including chunks larger than the prompt).
+    #[test]
+    fn chunked_prefill_matches_one_shot_for_every_policy(
+        prompt_len in 12usize..40,
+        chunk in 1usize..12,
+        gen_tokens in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let model = ModelFamily::Tiny.build(23);
+        let prompt = synthetic_prompt(prompt_len, 1);
+        for (policy, budget) in policy_zoo() {
+            let config = GenerationConfig::new(gen_tokens).with_top_k(16, 2.0, seed);
+            let one_shot = Session::new(&model, policy.build().unwrap(), budget)
+                .generate(&prompt, &config)
+                .unwrap();
+            let mut chunked = Session::new(&model, policy.build().unwrap(), budget)
+                .with_prefill_chunk(chunk);
+            chunked.begin(&prompt, &config).unwrap();
+            prop_assert!(chunked.is_prefilling());
+            prop_assert!(!chunked.is_decoding());
+            let mut advances = 0usize;
+            while chunked.is_prefilling() {
+                let progress = chunked.advance_prefill().unwrap();
+                prop_assert!(progress.processed >= 1 && progress.processed <= chunk);
+                prop_assert!(!progress.stalled, "unbounded pools never stall");
+                advances += 1;
+            }
+            prop_assert_eq!(advances, prompt_len.div_ceil(chunk));
+            let mut tokens = Vec::new();
+            while chunked.is_decoding() {
+                tokens.push(chunked.step().unwrap().token);
+            }
+            let output = chunked.take_output().unwrap();
+            prop_assert_eq!(&output.generated, &tokens);
+            prop_assert!(
+                output == one_shot,
+                "{}: chunk {} diverged from one-shot prefill",
+                policy.label(),
+                chunk
+            );
+        }
+    }
+
+    /// Mid-prefill eviction edge case: the prompt fills the cache chunk by
+    /// chunk, the end-of-prompt eviction fires inside the *final*
+    /// `advance_prefill` call, and the blocks it empties are back in the shared
+    /// pool the moment that call returns — not at retirement.
+    #[test]
+    fn final_chunk_eviction_returns_blocks_immediately(
+        prompt_len in 16usize..48,
+        chunk in 1usize..9,
+    ) {
+        const BLOCK: usize = 4;
+        const LAYERS: usize = 2; // ModelFamily::Tiny
+        let model = ModelFamily::Tiny.build(29);
+        let spec = CacheBudgetSpec::new(0.5, 0.3).unwrap();
+        let pool = SharedBlockPool::unbounded(BLOCK);
+        let mut session = Session::with_pool(
+            &model,
+            PolicySpec::keyformer_default().build().unwrap(),
+            Some(spec),
+            pool.clone(),
+        )
+        .with_prefill_chunk(chunk);
+        session
+            .begin(&synthetic_prompt(prompt_len, 2), &GenerationConfig::new(2))
+            .unwrap();
+        while session.is_prefilling() {
+            session.advance_prefill().unwrap();
+        }
+        // Mid-prefill the whole prompt was cached (the pool's high-water mark
+        // sees the transient even though the final advance_prefill call evicts
+        // before returning)...
+        let peak_blocks = pool.stats().peak_in_use;
+        prop_assert_eq!(peak_blocks, LAYERS * prompt_len.div_ceil(BLOCK));
+        // ...and the final chunk's eviction shrank it to the budget capacity
+        // before any decode step ran.
+        let capacity = spec.for_prompt_len(prompt_len).capacity();
+        prop_assert_eq!(pool.blocks_in_use(), LAYERS * capacity.div_ceil(BLOCK));
+        prop_assert!(pool.blocks_in_use() < peak_blocks);
+        // An aborted mid-prompt prefill leaks nothing.
+        let mut aborted = Session::with_pool(
+            &model,
+            PolicySpec::keyformer_default().build().unwrap(),
+            Some(spec),
+            pool.clone(),
+        )
+        .with_prefill_chunk(chunk);
+        aborted
+            .begin(&synthetic_prompt(prompt_len, 3), &GenerationConfig::new(2))
+            .unwrap();
+        aborted.advance_prefill().unwrap();
+        let with_two = pool.blocks_in_use();
+        drop(aborted);
+        prop_assert!(pool.blocks_in_use() < with_two);
+        prop_assert_eq!(pool.blocks_in_use(), LAYERS * capacity.div_ceil(BLOCK));
+    }
+}

@@ -53,11 +53,6 @@ proptest! {
         let model = ModelFamily::Tiny.build(9);
         let bytes_per_token = model.empty_cache().bytes_per_token();
         for (policy, budget) in policy_zoo() {
-            let mut server = Server::new(
-                &model,
-                ServerConfig::new(policy, budget, pool_slots * bytes_per_token),
-            )
-            .unwrap();
             let requests: Vec<Request> = (0..num_requests)
                 .map(|i| {
                     // Vary prompt lengths so sessions finish at different steps
@@ -68,33 +63,50 @@ proptest! {
                     Request::new(i as u64, prompt, config)
                 })
                 .collect();
-            for request in &requests {
-                server.submit(request.clone());
-            }
-            server.run(10_000);
-            prop_assert!(server.is_idle(), "{}: server did not drain", policy.label());
-            prop_assert!(
-                server.failures().is_empty(),
-                "{}: unexpected failures", policy.label()
-            );
-            prop_assert_eq!(server.completions().len(), num_requests);
-            for request in &requests {
-                let completion = server
-                    .completions()
-                    .iter()
-                    .find(|c| c.id == request.id)
-                    .expect("every request completes");
-                let mut engine =
-                    InferenceEngine::new(&model, policy.build().unwrap(), budget);
-                let alone = engine
-                    .try_generate(&request.prompt, &request.config)
-                    .unwrap();
+            // One-shot prefill and chunked prefill (3 tokens per step over a
+            // finer-grained pool) must both be observationally identical to
+            // sequential decoding — the block-backed cache and the resumable
+            // prefill never change what any sequence generates.
+            let base = ServerConfig::new(policy, budget, pool_slots * bytes_per_token)
+                .with_block_size(4);
+            for config in [base, base.with_prefill_chunk(3)] {
+                let label = if config.prefill_chunk.is_some() {
+                    format!("{} (chunked)", policy.label())
+                } else {
+                    policy.label()
+                };
+                let mut server = Server::new(&model, config).unwrap();
+                for request in &requests {
+                    server.submit(request.clone()).unwrap();
+                }
+                server.run(10_000);
+                prop_assert!(server.is_idle(), "{label}: server did not drain");
                 prop_assert!(
-                    completion.output == alone,
-                    "{}: serving diverged from sequential for {}",
-                    policy.label(),
-                    request.id
+                    server.failures().is_empty(),
+                    "{label}: unexpected failures"
                 );
+                prop_assert_eq!(server.completions().len(), num_requests);
+                prop_assert!(
+                    server.pool().blocks_in_use() == 0,
+                    "{label}: retired requests leaked blocks"
+                );
+                for request in &requests {
+                    let completion = server
+                        .completions()
+                        .iter()
+                        .find(|c| c.id == request.id)
+                        .expect("every request completes");
+                    let mut engine =
+                        InferenceEngine::new(&model, policy.build().unwrap(), budget);
+                    let alone = engine
+                        .try_generate(&request.prompt, &request.config)
+                        .unwrap();
+                    prop_assert!(
+                        completion.output == alone,
+                        "{label}: serving diverged from sequential for {}",
+                        request.id
+                    );
+                }
             }
         }
     }
@@ -121,11 +133,13 @@ proptest! {
         )
         .unwrap();
         for i in 0..num_requests {
-            server.submit(Request::new(
-                i as u64,
-                synthetic_prompt(prompt_len, i as u32),
-                GenerationConfig::new(4),
-            ));
+            server
+                .submit(Request::new(
+                    i as u64,
+                    synthetic_prompt(prompt_len, i as u32),
+                    GenerationConfig::new(4),
+                ))
+                .unwrap();
         }
         while !server.is_idle() {
             server.step();
