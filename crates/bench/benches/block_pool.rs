@@ -20,7 +20,7 @@ fn pool_alloc_release(c: &mut Criterion) {
         b.iter(|| {
             let ids: Vec<_> = (0..64).map(|_| pool.alloc().expect("capacity")).collect();
             for id in ids {
-                pool.release(id);
+                pool.release(id).expect("allocated above");
             }
             pool.blocks_in_use()
         });

@@ -33,10 +33,10 @@
 //! let a = pool.alloc()?;
 //! let b = pool.alloc()?;
 //! assert!(pool.alloc().is_err(), "capacity is enforced");
-//! pool.release(a);
+//! pool.release(a)?;
 //! assert_eq!(pool.blocks_free(), 1);
 //! let _reusable = pool.alloc()?; // freed blocks are immediately reusable
-//! pool.release(b);
+//! pool.release(b)?;
 //! # Ok::<(), keyformer_core::CoreError>(())
 //! ```
 
@@ -95,6 +95,11 @@ pub struct BlockPoolStats {
     pub total_allocs: u64,
     /// Total blocks returned.
     pub total_frees: u64,
+    /// Blocks currently mapped by more than one holder (refcount > 1) — the
+    /// prefix-sharing working set.
+    pub shared_blocks: usize,
+    /// High-water mark of `shared_blocks` over the pool's lifetime.
+    pub peak_shared_blocks: usize,
 }
 
 impl BlockPoolStats {
@@ -127,6 +132,9 @@ pub struct BlockPool {
     peak_reserved: usize,
     total_allocs: u64,
     total_frees: u64,
+    /// Blocks with refcount > 1 right now.
+    shared: usize,
+    peak_shared: usize,
 }
 
 impl BlockPool {
@@ -163,6 +171,8 @@ impl BlockPool {
             peak_reserved: 0,
             total_allocs: 0,
             total_frees: 0,
+            shared: 0,
+            peak_shared: 0,
         })
     }
 
@@ -290,35 +300,60 @@ impl BlockPool {
 
     /// Increments a block's refcount (shared mappings).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the block is not currently allocated.
-    pub fn retain(&mut self, id: BlockId) {
-        let rc = &mut self.refcounts[id.0 as usize];
-        assert!(*rc > 0, "retain of a free block {id:?}");
+    /// Returns [`CoreError::InvalidBlock`] if the block is not currently
+    /// allocated, leaving the pool untouched — a bookkeeping bug in a caller
+    /// retires that caller's request instead of panicking the scheduler.
+    pub fn retain(&mut self, id: BlockId) -> Result<(), CoreError> {
+        let Some(rc) = self.refcounts.get_mut(id.0 as usize).filter(|rc| **rc > 0) else {
+            return Err(CoreError::InvalidBlock {
+                id: id.0,
+                op: "retain",
+            });
+        };
         *rc += 1;
+        if *rc == 2 {
+            self.shared += 1;
+            self.peak_shared = self.peak_shared.max(self.shared);
+        }
+        Ok(())
     }
 
     /// Decrements a block's refcount, freeing the block (and making its id
     /// immediately reusable) when the count reaches zero.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the block is not currently allocated.
-    pub fn release(&mut self, id: BlockId) {
-        let rc = &mut self.refcounts[id.0 as usize];
-        assert!(*rc > 0, "release of a free block {id:?}");
+    /// Returns [`CoreError::InvalidBlock`] if the block is not currently
+    /// allocated, leaving the pool untouched.
+    pub fn release(&mut self, id: BlockId) -> Result<(), CoreError> {
+        let Some(rc) = self.refcounts.get_mut(id.0 as usize).filter(|rc| **rc > 0) else {
+            return Err(CoreError::InvalidBlock {
+                id: id.0,
+                op: "release",
+            });
+        };
         *rc -= 1;
+        if *rc == 1 {
+            self.shared -= 1;
+        }
         if *rc == 0 {
             self.in_use -= 1;
             self.total_frees += 1;
             self.free_ids.push(id.0);
         }
+        Ok(())
     }
 
     /// Current refcount of a block (0 when free).
     pub fn refcount(&self, id: BlockId) -> u32 {
         self.refcounts.get(id.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Blocks currently mapped by more than one holder.
+    pub fn shared_blocks(&self) -> usize {
+        self.shared
     }
 
     /// Reserves `blocks` against the capacity if they fit alongside the
@@ -351,6 +386,8 @@ impl BlockPool {
             peak_reserved: self.peak_reserved,
             total_allocs: self.total_allocs,
             total_frees: self.total_frees,
+            shared_blocks: self.shared,
+            peak_shared_blocks: self.peak_shared,
         }
     }
 }
@@ -415,6 +452,11 @@ impl SharedBlockPool {
         self.lock().capacity_blocks()
     }
 
+    /// See [`BlockPool::overcommit`].
+    pub fn overcommit(&self) -> OvercommitPolicy {
+        self.lock().overcommit()
+    }
+
     /// See [`BlockPool::blocks_in_use`].
     pub fn blocks_in_use(&self) -> usize {
         self.lock().blocks_in_use()
@@ -457,18 +499,38 @@ impl SharedBlockPool {
     }
 
     /// See [`BlockPool::retain`].
-    pub fn retain(&self, id: BlockId) {
-        self.lock().retain(id);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidBlock`] if the block is not currently
+    /// allocated.
+    pub fn retain(&self, id: BlockId) -> Result<(), CoreError> {
+        self.lock().retain(id)
     }
 
     /// See [`BlockPool::release`].
-    pub fn release(&self, id: BlockId) {
-        self.lock().release(id);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidBlock`] if the block is not currently
+    /// allocated.
+    pub fn release(&self, id: BlockId) -> Result<(), CoreError> {
+        self.lock().release(id)
     }
 
     /// See [`BlockPool::refcount`].
     pub fn refcount(&self, id: BlockId) -> u32 {
         self.lock().refcount(id)
+    }
+
+    /// See [`BlockPool::shared_blocks`].
+    pub fn shared_blocks(&self) -> usize {
+        self.lock().shared_blocks()
+    }
+
+    /// `true` when `other` is a handle to the same underlying pool.
+    pub fn same_pool(&self, other: &SharedBlockPool) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// See [`BlockPool::try_reserve`].
@@ -510,7 +572,7 @@ mod tests {
         let b = pool.alloc().unwrap();
         assert_ne!(a, b);
         assert_eq!(pool.blocks_in_use(), 2);
-        pool.release(a);
+        pool.release(a).unwrap();
         assert_eq!(pool.blocks_in_use(), 1);
         let c = pool.alloc().unwrap();
         assert_eq!(c, a, "freed ids are recycled before new ones are issued");
@@ -534,7 +596,7 @@ mod tests {
             })
         ));
         assert!(!pool.can_allocate(1));
-        pool.release(a);
+        pool.release(a).unwrap();
         assert!(pool.can_allocate(1));
         assert!(pool.alloc().is_ok());
     }
@@ -547,7 +609,7 @@ mod tests {
         assert_eq!(pool.blocks_in_use(), 2);
         assert_eq!(pool.blocks_free(), 0);
         assert_eq!(pool.stats().peak_overshoot(), 1);
-        pool.release(b);
+        pool.release(b).unwrap();
         assert_eq!(pool.stats().peak_overshoot(), 1, "high-water is sticky");
     }
 
@@ -555,22 +617,42 @@ mod tests {
     fn refcounts_keep_shared_blocks_alive() {
         let mut pool = BlockPool::unbounded(8);
         let a = pool.alloc().unwrap();
-        pool.retain(a);
+        pool.retain(a).unwrap();
         assert_eq!(pool.refcount(a), 2);
-        pool.release(a);
+        assert_eq!(pool.shared_blocks(), 1);
+        assert_eq!(pool.stats().peak_shared_blocks, 1);
+        pool.release(a).unwrap();
         assert_eq!(pool.blocks_in_use(), 1, "still mapped once");
-        pool.release(a);
+        assert_eq!(pool.shared_blocks(), 0);
+        pool.release(a).unwrap();
         assert_eq!(pool.blocks_in_use(), 0);
         assert_eq!(pool.refcount(a), 0);
+        assert_eq!(pool.stats().peak_shared_blocks, 1, "high-water is sticky");
     }
 
     #[test]
-    #[should_panic(expected = "release of a free block")]
-    fn double_free_panics() {
+    fn bad_ids_are_errors_not_panics() {
         let mut pool = BlockPool::unbounded(8);
         let a = pool.alloc().unwrap();
-        pool.release(a);
-        pool.release(a);
+        pool.release(a).unwrap();
+        // Double free.
+        assert_eq!(
+            pool.release(a),
+            Err(CoreError::InvalidBlock {
+                id: a.raw(),
+                op: "release"
+            })
+        );
+        // Retain of a freed block.
+        assert!(matches!(
+            pool.retain(a),
+            Err(CoreError::InvalidBlock { op: "retain", .. })
+        ));
+        // Never-issued id.
+        assert!(pool.release(BlockId(99)).is_err());
+        // The failed operations left the pool consistent.
+        assert_eq!(pool.blocks_in_use(), 0);
+        assert_eq!(pool.stats().total_frees, 1);
     }
 
     #[test]
@@ -609,7 +691,7 @@ mod tests {
         let open = BlockPool::unbounded(4);
         assert!(open.can_allocate_transient(usize::MAX / 2, 0, 0));
         for id in decoder.into_iter().chain(prefiller) {
-            pool.release(id);
+            pool.release(id).unwrap();
         }
     }
 
@@ -621,10 +703,12 @@ mod tests {
         assert_eq!(clone.blocks_in_use(), 1);
         assert!(clone.try_reserve(2));
         assert_eq!(pool.blocks_reserved(), 2);
-        clone.release(a);
+        clone.release(a).unwrap();
         assert_eq!(pool.blocks_in_use(), 0);
         assert_eq!(pool.block_size(), 8);
         assert_eq!(pool.capacity_blocks(), Some(4));
+        assert!(pool.same_pool(&clone));
+        assert!(!pool.same_pool(&SharedBlockPool::unbounded(8)));
     }
 
     #[test]

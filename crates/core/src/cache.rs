@@ -20,25 +20,38 @@
 //! releases emptied tail blocks back to the pool immediately — which is what makes
 //! the bytes a policy evicts instantly reusable by *other* sequences sharing the
 //! pool.
+//!
+//! ## Copy-on-write sharing
+//!
+//! A block's payload lives behind an [`Arc`], so one physical block can be
+//! mapped into several sequences' block tables (and into the
+//! [`crate::prefix::PrefixRegistry`]) at once — the pool refcount and the `Arc`
+//! count track the same sharing. Reads never care. Any *write* — an
+//! [`LayerKvCache::append`] into a partially-filled shared block, or an
+//! eviction-driven compaction touching shared rows — first forks a private copy
+//! ([`LayerKvCache::cow_forks`] counts these): a fresh block is allocated from
+//! the pool, the payload is cloned, and the shared original is released. Every
+//! other reader (a forked session, a registered prefix) keeps seeing the
+//! original bytes, which is what lets the whole eviction-policy zoo run
+//! unchanged on shared storage.
 
 use crate::block::{BlockId, SharedBlockPool, DEFAULT_BLOCK_SIZE};
 use crate::CoreError;
 use keyformer_tensor::{Matrix, TensorError};
+use std::sync::Arc;
 
-/// One fixed-size block of per-head key/value rows for a single layer.
-#[derive(Debug)]
-struct KvBlock {
-    id: BlockId,
+/// The payload of one fixed-size block: per-head key/value rows for one layer.
+#[derive(Debug, Clone)]
+pub(crate) struct KvBlockData {
     /// Per head: up to `block_size` key rows of width `head_dim`.
     keys: Vec<Matrix>,
     /// Per head: up to `block_size` value rows of width `head_dim`.
     values: Vec<Matrix>,
 }
 
-impl KvBlock {
-    fn new(id: BlockId, num_heads: usize) -> Self {
-        KvBlock {
-            id,
+impl KvBlockData {
+    fn new(num_heads: usize) -> Self {
+        KvBlockData {
             keys: (0..num_heads).map(|_| Matrix::zeros(0, 0)).collect(),
             values: (0..num_heads).map(|_| Matrix::zeros(0, 0)).collect(),
         }
@@ -50,6 +63,55 @@ impl KvBlock {
             .chain(self.values.iter())
             .map(Matrix::byte_size)
             .sum()
+    }
+
+    /// Rows currently held (identical across heads and keys/values).
+    fn rows(&self) -> usize {
+        self.keys.first().map_or(0, Matrix::rows)
+    }
+}
+
+/// A refcounted handle to one physical block: the pool id plus the shared
+/// payload. Cloning the handle does *not* touch the pool — callers that map the
+/// block into another table must pair the clone with a
+/// [`SharedBlockPool::retain`].
+#[derive(Debug, Clone)]
+pub(crate) struct SharedKvBlock {
+    pub(crate) id: BlockId,
+    pub(crate) data: Arc<KvBlockData>,
+}
+
+impl SharedKvBlock {
+    pub(crate) fn num_heads(&self) -> usize {
+        self.data.keys.len()
+    }
+
+    pub(crate) fn rows(&self) -> usize {
+        self.data.rows()
+    }
+
+    pub(crate) fn head_dim(&self) -> usize {
+        self.data.keys.first().map_or(0, |m| m.shape().1)
+    }
+}
+
+/// One entry of a layer's block table.
+#[derive(Debug)]
+struct KvBlock {
+    id: BlockId,
+    data: Arc<KvBlockData>,
+}
+
+impl KvBlock {
+    fn new(id: BlockId, num_heads: usize) -> Self {
+        KvBlock {
+            id,
+            data: Arc::new(KvBlockData::new(num_heads)),
+        }
+    }
+
+    fn byte_size(&self) -> usize {
+        self.data.byte_size()
     }
 }
 
@@ -95,8 +157,8 @@ impl<'a> KvSlice<'a> {
     fn matrix(&self, block: usize) -> &'a Matrix {
         let b = &self.blocks[block];
         match self.component {
-            KvComponent::Keys => &b.keys[self.head],
-            KvComponent::Values => &b.values[self.head],
+            KvComponent::Keys => &b.data.keys[self.head],
+            KvComponent::Values => &b.data.values[self.head],
         }
     }
 
@@ -169,6 +231,8 @@ pub struct LayerKvCache {
     block_size: usize,
     blocks: Vec<KvBlock>,
     positions: Vec<usize>,
+    /// Copy-on-write forks performed by this layer (writes into shared blocks).
+    cow_forks: usize,
 }
 
 impl LayerKvCache {
@@ -191,6 +255,7 @@ impl LayerKvCache {
             pool,
             blocks: Vec::new(),
             positions: Vec::new(),
+            cow_forks: 0,
         }
     }
 
@@ -243,6 +308,129 @@ impl LayerKvCache {
     /// `true` when the next [`LayerKvCache::append`] must allocate a new block.
     pub fn needs_block_for_append(&self) -> bool {
         self.len() == self.allocated_slots()
+    }
+
+    /// Copy-on-write forks this layer has performed (writes that hit a block
+    /// mapped by another sequence or the prefix registry).
+    pub fn cow_forks(&self) -> usize {
+        self.cow_forks
+    }
+
+    /// Number of this layer's blocks currently shared with another holder.
+    pub fn shared_block_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| Arc::strong_count(&b.data) > 1)
+            .count()
+    }
+
+    /// The layer's block table as `(id, live_rows)` pairs, in slot order. Lets
+    /// a scheduler aggregate *physical* occupancy across sequences that share
+    /// blocks (each block counted once however many tables map it).
+    pub fn block_rows(&self) -> impl Iterator<Item = (BlockId, usize)> + '_ {
+        self.blocks.iter().map(|b| (b.id, b.data.rows()))
+    }
+
+    /// A cloneable handle to block `idx` of this layer's table (the prefix
+    /// registry uses this to pin prompt blocks). The caller must pair any
+    /// retained clone with a pool retain.
+    pub(crate) fn shared_block(&self, idx: usize) -> SharedKvBlock {
+        let b = &self.blocks[idx];
+        SharedKvBlock {
+            id: b.id,
+            data: Arc::clone(&b.data),
+        }
+    }
+
+    /// Maps an already-allocated, *full* block into this layer's table,
+    /// retaining it in the pool. Only valid while the table is dense (the
+    /// current last block is full) — i.e. during prefix attachment, before any
+    /// private appends. Slot positions continue the layer's own sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the block's shape does not match
+    /// this layer or the table is not dense, and [`CoreError::InvalidBlock`] if
+    /// the pool does not recognise the block.
+    pub(crate) fn push_shared_block(&mut self, block: SharedKvBlock) -> Result<(), CoreError> {
+        if block.num_heads() != self.num_heads || block.head_dim() != self.head_dim {
+            return Err(CoreError::InvalidConfig(format!(
+                "shared block shape ({} heads, dim {}) does not match layer ({} heads, dim {})",
+                block.num_heads(),
+                block.head_dim(),
+                self.num_heads,
+                self.head_dim
+            )));
+        }
+        if block.rows() != self.block_size {
+            return Err(CoreError::InvalidConfig(format!(
+                "only full blocks can be shared: block holds {} of {} rows",
+                block.rows(),
+                self.block_size
+            )));
+        }
+        if self.len() != self.allocated_slots() {
+            return Err(CoreError::InvalidConfig(
+                "cannot map a shared block behind a partially-filled block".into(),
+            ));
+        }
+        self.pool.retain(block.id)?;
+        let start = self.positions.len();
+        self.positions.extend(start..start + self.block_size);
+        self.blocks.push(KvBlock {
+            id: block.id,
+            data: block.data,
+        });
+        Ok(())
+    }
+
+    /// Ensures block `idx` is privately owned, forking a copy-on-write clone
+    /// (fresh pool block + payload copy, shared original released) when it is
+    /// currently mapped elsewhere.
+    fn ensure_private(&mut self, idx: usize) -> Result<(), CoreError> {
+        if Arc::strong_count(&self.blocks[idx].data) == 1 {
+            return Ok(());
+        }
+        let new_id = self.pool.alloc()?;
+        let data = KvBlockData::clone(&self.blocks[idx].data);
+        let old = std::mem::replace(
+            &mut self.blocks[idx],
+            KvBlock {
+                id: new_id,
+                data: Arc::new(data),
+            },
+        );
+        self.pool.release(old.id)?;
+        self.cow_forks += 1;
+        Ok(())
+    }
+
+    /// Mutable access to block `idx`'s payload, forking it private first.
+    fn block_data_mut(&mut self, idx: usize) -> Result<&mut KvBlockData, CoreError> {
+        self.ensure_private(idx)?;
+        Ok(Arc::get_mut(&mut self.blocks[idx].data).expect("block was just made private"))
+    }
+
+    /// Clones this layer's table into a new cache sharing every block
+    /// copy-on-write (session forking).
+    pub(crate) fn fork(&self) -> Result<LayerKvCache, CoreError> {
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for b in &self.blocks {
+            self.pool.retain(b.id)?;
+            blocks.push(KvBlock {
+                id: b.id,
+                data: Arc::clone(&b.data),
+            });
+        }
+        Ok(LayerKvCache {
+            num_heads: self.num_heads,
+            head_dim: self.head_dim,
+            pool: self.pool.clone(),
+            block_size: self.block_size,
+            blocks,
+            positions: self.positions.clone(),
+            cow_forks: 0,
+        })
     }
 
     /// Original sequence positions of the live slots, in slot order.
@@ -322,8 +510,11 @@ impl LayerKvCache {
             let id = self.pool.alloc()?;
             self.blocks.push(KvBlock::new(id, self.num_heads));
         }
-        let block = self.blocks.last_mut().expect("block allocated above");
-        for h in 0..self.num_heads {
+        // Appending into a partially-filled block another sequence still maps
+        // (a fork sharing our tail) must not mutate the shared rows: fork first.
+        let num_heads = self.num_heads;
+        let block = self.block_data_mut(self.blocks.len() - 1)?;
+        for h in 0..num_heads {
             block.keys[h].push_row(&keys_per_head[h]);
             block.values[h].push_row(&values_per_head[h]);
         }
@@ -343,6 +534,21 @@ impl LayerKvCache {
     pub fn retain_slots(&mut self, retained: &[usize]) -> Result<(), CoreError> {
         validate_selection(retained, self.len())?;
         let bs = self.block_size();
+        let new_len = retained.len();
+        let needed = new_len.div_ceil(bs);
+        // Copy-on-write pre-pass: every block compaction will *write* — a
+        // destination of a moved row, or the truncated final block — must be
+        // privately owned first. Blocks the selection leaves byte-identical
+        // (an aligned identity prefix) stay shared.
+        for (dst, &src) in retained.iter().enumerate() {
+            if dst != src {
+                self.ensure_private(dst / bs)?;
+            }
+        }
+        if needed > 0 && new_len < needed * bs {
+            // The final kept block will be truncated below.
+            self.ensure_private(needed - 1)?;
+        }
         // `retained` is strictly increasing, so every destination slot is at or
         // before its source slot and rows can be moved in a single forward pass.
         for (dst, &src) in retained.iter().enumerate() {
@@ -352,22 +558,32 @@ impl LayerKvCache {
             let (sb, sr) = (src / bs, src % bs);
             let (db, dr) = (dst / bs, dst % bs);
             for h in 0..self.num_heads {
-                let key = self.blocks[sb].keys[h].row(sr).to_vec();
-                self.blocks[db].keys[h].row_mut(dr).copy_from_slice(&key);
-                let value = self.blocks[sb].values[h].row(sr).to_vec();
-                self.blocks[db].values[h]
-                    .row_mut(dr)
-                    .copy_from_slice(&value);
+                let key = self.blocks[sb].data.keys[h].row(sr).to_vec();
+                let value = self.blocks[sb].data.values[h].row(sr).to_vec();
+                let data = Arc::get_mut(&mut self.blocks[db].data)
+                    .expect("destination block was made private in the pre-pass");
+                data.keys[h].row_mut(dr).copy_from_slice(&key);
+                data.values[h].row_mut(dr).copy_from_slice(&value);
             }
         }
         self.positions = retained.iter().map(|&i| self.positions[i]).collect();
-        let new_len = self.positions.len();
-        let needed = new_len.div_ceil(bs);
+        // Release every emptied tail block even if one release reports a
+        // bookkeeping error — bailing mid-drain would drop the remaining
+        // blocks from the table unreleased, turning one bad id into a
+        // permanent pool leak.
+        let mut release_err = None;
         for block in self.blocks.drain(needed..) {
-            self.pool.release(block.id);
+            if let Err(e) = self.pool.release(block.id) {
+                release_err.get_or_insert(e);
+            }
         }
-        if let Some(last) = self.blocks.last_mut() {
+        if let Some(e) = release_err {
+            return Err(e);
+        }
+        if new_len > 0 && new_len < needed * bs {
             let rows = new_len - (needed - 1) * bs;
+            let last = Arc::get_mut(&mut self.blocks[needed - 1].data)
+                .expect("final block was made private in the pre-pass");
             for m in last.keys.iter_mut().chain(last.values.iter_mut()) {
                 m.truncate_rows(rows);
             }
@@ -375,10 +591,13 @@ impl LayerKvCache {
         Ok(())
     }
 
-    /// Removes every slot, returning all blocks to the pool.
+    /// Removes every slot, returning all blocks to the pool. Best-effort on
+    /// pool-accounting errors (this also backs [`Drop`], where nothing can be
+    /// propagated); a debug build still flags them.
     pub fn clear(&mut self) {
         for block in self.blocks.drain(..) {
-            self.pool.release(block.id);
+            let released = self.pool.release(block.id);
+            debug_assert!(released.is_ok(), "clear released an unknown block");
         }
         self.positions.clear();
     }
@@ -516,6 +735,40 @@ impl KvCache {
             .iter()
             .filter(|l| l.needs_block_for_append())
             .count()
+    }
+
+    /// Copy-on-write forks performed across all layers.
+    pub fn total_cow_forks(&self) -> usize {
+        self.layers.iter().map(LayerKvCache::cow_forks).sum()
+    }
+
+    /// Blocks of this cache currently shared with another holder (a forked
+    /// session or the prefix registry), summed over layers.
+    pub fn shared_block_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(LayerKvCache::shared_block_count)
+            .sum()
+    }
+
+    /// Clones this cache into a new one that maps every current block
+    /// copy-on-write: both caches read the same physical blocks until either
+    /// side writes (appends into a partial block, or compacts), at which point
+    /// the writer forks a private copy. The clone draws from the same pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidBlock`] if the pool's accounting disagrees
+    /// with the block table (a bookkeeping bug).
+    pub fn fork(&self) -> Result<KvCache, CoreError> {
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            layers.push(layer.fork()?);
+        }
+        Ok(KvCache {
+            layers,
+            pool: self.pool.clone(),
+        })
     }
 
     /// Total live byte footprint summed over layers.
@@ -775,6 +1028,104 @@ mod tests {
         assert_eq!(cache.total_slots(), 0);
         assert_eq!(cache.pool().blocks_in_use(), 0);
         assert_eq!(cache.blocks_needed_for_next_token(), 3);
+    }
+
+    #[test]
+    fn forked_layer_shares_blocks_until_either_side_writes() {
+        let pool = SharedBlockPool::unbounded(4);
+        let layer = filled_layer_in(6, pool.clone());
+        assert_eq!(pool.blocks_in_use(), 2);
+        let mut fork = layer.fork().unwrap();
+        // Same physical blocks, refcounted twice, readable from both sides.
+        assert_eq!(pool.blocks_in_use(), 2);
+        assert_eq!(pool.shared_blocks(), 2);
+        assert_eq!(layer.shared_block_count(), 2);
+        assert_eq!(fork.keys(0).row(5), layer.keys(0).row(5));
+        // The fork appends into the shared partial tail block: CoW forks it.
+        let k = vec![vec![9.0; 3], vec![9.5; 3]];
+        let v = vec![vec![19.0; 3], vec![29.0; 3]];
+        fork.append(6, &k, &v).unwrap();
+        assert_eq!(fork.cow_forks(), 1);
+        assert_eq!(pool.blocks_in_use(), 3, "fork owns a private tail now");
+        assert_eq!(pool.shared_blocks(), 1, "the full block stays shared");
+        // The original never sees the fork's write.
+        assert_eq!(layer.len(), 6);
+        assert_eq!(layer.keys(0).row(5), &[5.0; 3]);
+        assert_eq!(fork.keys(0).row(6), &[9.0; 3]);
+        drop(fork);
+        assert_eq!(pool.blocks_in_use(), 2);
+        assert_eq!(pool.shared_blocks(), 0);
+    }
+
+    #[test]
+    fn compaction_inside_a_shared_block_forks_not_corrupts() {
+        let pool = SharedBlockPool::unbounded(2);
+        let layer = filled_layer_in(6, pool.clone());
+        let mut fork = layer.fork().unwrap();
+        // Evict inside the shared blocks: every written block must fork.
+        fork.retain_slots(&[0, 2, 5]).unwrap();
+        assert!(fork.cow_forks() >= 1);
+        assert_eq!(fork.positions(), &[0, 2, 5]);
+        assert_eq!(fork.keys(0).row(1), &[2.0; 3]);
+        // The donor still reads its original six slots, bit-identical.
+        assert_eq!(layer.len(), 6);
+        for slot in 0..6 {
+            assert_eq!(layer.keys(0).row(slot), &[slot as f32; 3]);
+            assert_eq!(layer.values(1).row(slot), &[20.0 + slot as f32; 3]);
+        }
+        // An aligned identity prefix stays shared: retaining [0, 1] keeps the
+        // first block byte-identical, so no fork for it.
+        let mut fork2 = layer.fork().unwrap();
+        let before = fork2.cow_forks();
+        fork2.retain_slots(&[0, 1]).unwrap();
+        assert_eq!(fork2.cow_forks(), before, "identity prefix must not fork");
+        assert_eq!(fork2.shared_block_count(), 1);
+    }
+
+    #[test]
+    fn push_shared_block_maps_and_validates() {
+        let pool = SharedBlockPool::unbounded(3);
+        let donor = filled_layer_in(6, pool.clone());
+        let mut reader = LayerKvCache::with_pool(2, 3, pool.clone());
+        reader.push_shared_block(donor.shared_block(0)).unwrap();
+        reader.push_shared_block(donor.shared_block(1)).unwrap();
+        assert_eq!(reader.len(), 6);
+        assert_eq!(reader.positions(), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(reader.keys(0).row(4), &[4.0; 3]);
+        assert_eq!(pool.blocks_in_use(), 2, "no new physical blocks");
+        assert_eq!(pool.shared_blocks(), 2);
+        // Shape and density violations are rejected.
+        let mut wrong_shape = LayerKvCache::with_pool(1, 3, pool.clone());
+        assert!(wrong_shape
+            .push_shared_block(donor.shared_block(0))
+            .is_err());
+        drop(reader);
+        assert_eq!(pool.shared_blocks(), 0);
+        assert_eq!(pool.blocks_in_use(), 2);
+    }
+
+    #[test]
+    fn kv_cache_fork_round_trip() {
+        let pool = SharedBlockPool::unbounded(4);
+        let mut cache = KvCache::with_pool(2, 2, 3, pool.clone());
+        for l in 0..2 {
+            for i in 0..5 {
+                let k = vec![vec![i as f32; 3], vec![i as f32; 3]];
+                let v = k.clone();
+                cache.layer_mut(l).append(i, &k, &v).unwrap();
+            }
+        }
+        let fork = cache.fork().unwrap();
+        assert_eq!(fork.total_slots(), cache.total_slots());
+        assert_eq!(cache.shared_block_count(), 4);
+        assert_eq!(fork.shared_block_count(), 4);
+        assert_eq!(cache.total_cow_forks() + fork.total_cow_forks(), 0);
+        drop(cache);
+        // The fork keeps every block alive on its own.
+        assert_eq!(pool.blocks_in_use(), 4);
+        assert_eq!(fork.layer(1).keys(0).row(4), &[4.0; 3]);
+        drop(fork);
+        assert_eq!(pool.blocks_in_use(), 0);
     }
 
     #[test]

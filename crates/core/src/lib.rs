@@ -82,6 +82,7 @@ pub mod diagnostics;
 pub mod observation;
 pub mod policies;
 pub mod policy;
+pub mod prefix;
 pub mod spec;
 pub mod temperature;
 
@@ -97,6 +98,7 @@ pub use policies::keyformer::{Keyformer, KeyformerConfig};
 pub use policies::streaming::StreamingLlm;
 pub use policies::window::WindowAttention;
 pub use policy::KvCachePolicy;
+pub use prefix::{PrefixRegistry, PrefixRegistryStats, SharedPrefixRegistry};
 pub use spec::PolicySpec;
 pub use temperature::TemperatureSchedule;
 
@@ -117,6 +119,16 @@ pub enum CoreError {
         /// The pool's block capacity.
         capacity: usize,
     },
+    /// A retain/release/attach referenced a block id the pool does not
+    /// currently have allocated. Surfaced as a `Result` (rather than a panic)
+    /// so a serving-layer bookkeeping bug retires one request instead of
+    /// taking the whole scheduler down.
+    InvalidBlock {
+        /// Raw id of the offending block.
+        id: u32,
+        /// The operation that rejected it (`"retain"`, `"release"`, ...).
+        op: &'static str,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -128,6 +140,9 @@ impl std::fmt::Display for CoreError {
                 f,
                 "block pool exhausted: {in_use} of {capacity} blocks in use"
             ),
+            CoreError::InvalidBlock { id, op } => {
+                write!(f, "{op} of block {id}, which is not currently allocated")
+            }
         }
     }
 }

@@ -76,6 +76,10 @@ impl KvCachePolicy for DampedAttention {
     fn reset(&mut self) {
         self.accumulator.reset();
     }
+
+    fn clone_box(&self) -> Box<dyn KvCachePolicy> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -33,6 +33,10 @@ impl KvCachePolicy for FullAttention {
     fn compact(&mut self, _layer: usize, _retained: &[usize]) {}
 
     fn reset(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn KvCachePolicy> {
+        Box::new(*self)
+    }
 }
 
 #[cfg(test)]

@@ -89,6 +89,10 @@ impl KvCachePolicy for H2O {
     fn reset(&mut self) {
         self.accumulator.reset();
     }
+
+    fn clone_box(&self) -> Box<dyn KvCachePolicy> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

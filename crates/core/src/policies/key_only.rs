@@ -53,6 +53,10 @@ impl KvCachePolicy for KeyOnlyAttention {
     fn reset(&mut self) {
         self.accumulator.reset();
     }
+
+    fn clone_box(&self) -> Box<dyn KvCachePolicy> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -173,6 +173,10 @@ impl KvCachePolicy for Keyformer {
         self.accumulator.reset();
         self.rng = StdRng::seed_from_u64(self.config.seed);
     }
+
+    fn clone_box(&self) -> Box<dyn KvCachePolicy> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -113,6 +113,10 @@ impl KvCachePolicy for StreamingLlm {
         self.positions.clear();
         self.next_position.clear();
     }
+
+    fn clone_box(&self) -> Box<dyn KvCachePolicy> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -33,6 +33,10 @@ impl KvCachePolicy for WindowAttention {
     fn compact(&mut self, _layer: usize, _retained: &[usize]) {}
 
     fn reset(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn KvCachePolicy> {
+        Box::new(*self)
+    }
 }
 
 /// Dilated window attention: keep every `dilation + 1`-th slot counting back from the
@@ -100,6 +104,10 @@ impl KvCachePolicy for DilatedWindowAttention {
     fn compact(&mut self, _layer: usize, _retained: &[usize]) {}
 
     fn reset(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn KvCachePolicy> {
+        Box::new(*self)
+    }
 }
 
 #[cfg(test)]

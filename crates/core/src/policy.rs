@@ -36,6 +36,15 @@ pub trait KvCachePolicy: Send {
 
     /// Clears all per-sequence state, making the policy reusable for a new request.
     fn reset(&mut self);
+
+    /// Snapshots the policy — accumulated scores, RNG stream position and all —
+    /// into an independent boxed clone. The prefix registry stores such
+    /// snapshots at block boundaries so a sequence attaching to a cached prefix
+    /// resumes with *exactly* the policy state a cold start would have reached
+    /// at that point; [`crate::spec::PolicySpec::build`] plus replayed
+    /// observations would get there too, but only by redoing the forwards the
+    /// attach exists to skip.
+    fn clone_box(&self) -> Box<dyn KvCachePolicy>;
 }
 
 /// Returns the slot indices of the most recent `window` slots of a cache holding

@@ -12,13 +12,15 @@
 //! `table1` … `table4`, plus the serving-layer `serve_throughput` experiment.
 //!
 //! Running `serve_throughput` additionally writes `BENCH_serving.json` (requests
-//! per scheduler step and mean KV bytes per policy), and running `paging` writes
+//! per scheduler step and mean KV bytes per policy), running `paging` writes
 //! `BENCH_paging.json` (throughput, pool utilization and overshoot per block
-//! configuration) to the working directory, so CI can archive both serving
-//! trajectories as machine-readable data.
+//! configuration), and running `prefix_sharing` writes `BENCH_prefix.json`
+//! (shared-system-prompt workload with sharing off vs. on) to the working
+//! directory, so CI can archive the serving trajectories as machine-readable
+//! data.
 
 use keyformer_harness::report::Table;
-use keyformer_harness::{paging, serving};
+use keyformer_harness::{paging, prefix, serving};
 use keyformer_harness::{run_experiment, ExperimentId};
 use serde::Serialize;
 
@@ -26,6 +28,8 @@ use serde::Serialize;
 const SERVING_JSON: &str = "BENCH_serving.json";
 /// File the paging experiment's machine-readable summary is written to.
 const PAGING_JSON: &str = "BENCH_paging.json";
+/// File the prefix-sharing experiment's machine-readable summary is written to.
+const PREFIX_JSON: &str = "BENCH_prefix.json";
 
 /// Writes an experiment's machine-readable summary, exiting loudly on failure —
 /// a missing or stale JSON data point must not leave a previous run's file
@@ -54,6 +58,11 @@ fn run_with_artifacts(id: ExperimentId, samples: usize) -> Table {
         ExperimentId::Paging => {
             let (table, summaries) = paging::paging_report(samples);
             write_summary(PAGING_JSON, &summaries);
+            table
+        }
+        ExperimentId::PrefixSharing => {
+            let (table, summaries) = prefix::prefix_sharing_report(samples);
+            write_summary(PREFIX_JSON, &summaries);
             table
         }
         _ => run_experiment(id, samples),

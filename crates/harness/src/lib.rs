@@ -16,6 +16,7 @@ pub mod accuracy;
 pub mod analysis;
 pub mod paging;
 pub mod perf;
+pub mod prefix;
 pub mod registry;
 pub mod report;
 pub mod serving;

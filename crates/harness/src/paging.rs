@@ -67,6 +67,9 @@ pub struct PagingSummary {
     pub block_allocs: u64,
     /// Total block frees over the run.
     pub block_frees: u64,
+    /// High-water mark of blocks mapped by more than one holder (0 without
+    /// prefix sharing, which this experiment leaves off).
+    pub shared_blocks_peak: usize,
     /// Times a chunked prefill paused on a dry strict pool.
     pub prefill_stalls: usize,
     /// Peak concurrently running sessions.
@@ -176,6 +179,7 @@ pub fn paging_report(samples: usize) -> (Table, Vec<PagingSummary>) {
             overshoot_blocks: pool.peak_overshoot(),
             block_allocs: pool.total_allocs,
             block_frees: pool.total_frees,
+            shared_blocks_peak: pool.peak_shared_blocks,
             prefill_stalls: stats.prefill_stalls,
             peak_concurrency: stats.peak_concurrency,
         };

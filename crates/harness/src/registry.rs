@@ -2,7 +2,7 @@
 //! regenerate them.
 
 use crate::report::Table;
-use crate::{accuracy, analysis, paging, perf, serving};
+use crate::{accuracy, analysis, paging, perf, prefix, serving};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of one paper table or figure.
@@ -52,6 +52,10 @@ pub enum ExperimentId {
     /// versus block size at a fixed pool, against a contiguous
     /// (sequence-granularity) baseline (not a paper artefact).
     Paging,
+    /// Copy-on-write prefix sharing: shared-system-prompt workload (prefix
+    /// length × fan-out) with sharing off vs. on at a fixed pool (not a paper
+    /// artefact).
+    PrefixSharing,
 }
 
 impl ExperimentId {
@@ -79,6 +83,7 @@ impl ExperimentId {
             Table4,
             ServeThroughput,
             Paging,
+            PrefixSharing,
         ]
     }
 
@@ -106,6 +111,7 @@ impl ExperimentId {
             "table4" => Table4,
             "serve_throughput" => ServeThroughput,
             "paging" => Paging,
+            "prefix_sharing" => PrefixSharing,
             _ => return None,
         })
     }
@@ -134,6 +140,7 @@ impl ExperimentId {
             Table4 => "table4",
             ServeThroughput => "serve_throughput",
             Paging => "paging",
+            PrefixSharing => "prefix_sharing",
         }
     }
 }
@@ -170,6 +177,7 @@ pub fn run_experiment(id: ExperimentId, samples: usize) -> Table {
         ExperimentId::Table4 => accuracy::table4(samples),
         ExperimentId::ServeThroughput => serving::serve_throughput(samples),
         ExperimentId::Paging => paging::paging(samples),
+        ExperimentId::PrefixSharing => prefix::prefix_sharing(samples),
     }
 }
 
@@ -189,8 +197,9 @@ mod tests {
 
     #[test]
     fn all_lists_every_experiment() {
-        // 18 paper artefacts + the serving-throughput and paging experiments.
-        assert_eq!(ExperimentId::all().len(), 20);
+        // 18 paper artefacts + the serving-throughput, paging and
+        // prefix-sharing experiments.
+        assert_eq!(ExperimentId::all().len(), 21);
     }
 
     #[test]

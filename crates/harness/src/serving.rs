@@ -51,6 +51,14 @@ pub struct PolicyServingSummary {
     pub peak_concurrency: usize,
     /// Mean end-to-end latency (scheduler steps) of the completed requests.
     pub mean_latency_steps: f64,
+    /// Mean live-slots / allocated-slots at end-of-step steady state
+    /// (1.0 minus internal fragmentation).
+    pub utilization: f64,
+    /// Pool high-water mark in blocks.
+    pub peak_blocks: usize,
+    /// High-water mark of blocks mapped by more than one holder (0 without
+    /// prefix sharing).
+    pub shared_blocks_peak: usize,
 }
 
 /// The policy line-up the serving experiment compares: full attention against
@@ -134,6 +142,7 @@ pub fn serve_throughput_report(samples: usize) -> (Table, Vec<PolicyServingSumma
         }
         server.run(step_budget);
         let stats = *server.stats();
+        let pool = server.pool_stats();
         let completions = server.completions();
         let completed = completions.len();
         let mean_latency = if completed == 0 {
@@ -155,6 +164,9 @@ pub fn serve_throughput_report(samples: usize) -> (Table, Vec<PolicyServingSumma
             peak_kv_bytes: stats.peak_live_kv_bytes,
             peak_concurrency: stats.peak_concurrency,
             mean_latency_steps: mean_latency,
+            utilization: stats.mean_pool_utilization(),
+            peak_blocks: pool.peak_in_use,
+            shared_blocks_peak: pool.peak_shared_blocks,
         };
         table.push_row(vec![
             summary.policy.clone(),

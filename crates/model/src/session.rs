@@ -27,6 +27,18 @@
 //! Chunking never changes what is generated: the forward sequence is identical
 //! to one-shot prefill, and the end-of-prompt eviction still happens exactly
 //! once, after the final prompt token.
+//!
+//! Two sharing mechanisms sit on top ([`keyformer_core::prefix`]):
+//!
+//! * **Prefix attachment** — with [`Session::set_prefix_registry`], prompt
+//!   forwarding registers every completed full KV block (plus a policy-state
+//!   snapshot) into a shared [`SharedPrefixRegistry`], and
+//!   [`Session::begin_with_prefix`] attaches a new prompt to the longest cached
+//!   prefix copy-on-write, skipping those prefill forwards entirely while
+//!   producing tokens identical to a cold start.
+//! * **Forking** — [`Session::fork`] duplicates a whole in-flight session,
+//!   sharing every KV block copy-on-write; both sides continue independently
+//!   and a write (append or eviction) forks only the touched block.
 
 use crate::config::ModelConfig;
 use crate::generation::{GenerationConfig, GenerationOutput, SamplingStrategy};
@@ -37,6 +49,7 @@ use keyformer_core::budget::{CacheBudget, CacheBudgetSpec};
 use keyformer_core::cache::KvCache;
 use keyformer_core::observation::Phase;
 use keyformer_core::policy::KvCachePolicy;
+use keyformer_core::prefix::SharedPrefixRegistry;
 use keyformer_core::CoreError;
 use keyformer_tensor::ops::{log_softmax, softmax_with_temperature};
 use keyformer_tensor::top_k_indices;
@@ -47,8 +60,9 @@ use rand::{Rng, SeedableRng};
 /// The sampling-loop state of an in-flight autoregressive decode.
 ///
 /// Created by [`Session::begin`], advanced by [`Session::step`], consumed by
-/// [`Session::take_output`].
-#[derive(Debug)]
+/// [`Session::take_output`]. `Clone` because [`Session::fork`] duplicates an
+/// in-flight decode — RNG stream position and all.
+#[derive(Debug, Clone)]
 struct DecodeState {
     config: GenerationConfig,
     rng: StdRng,
@@ -66,7 +80,7 @@ struct DecodeState {
 
 /// An in-flight chunked prefill armed by [`Session::begin`] and advanced by
 /// [`Session::advance_prefill`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PrefillState {
     prompt: Vec<u32>,
     config: GenerationConfig,
@@ -117,6 +131,15 @@ pub struct Session<'m> {
     block_reservation: usize,
     prefill: Option<PrefillState>,
     decode: Option<DecodeState>,
+    /// Prefix registry this session registers prompt blocks into and attaches
+    /// cached prefixes from (serving-layer sharing; `None` for standalone
+    /// sessions).
+    prefix_registry: Option<SharedPrefixRegistry>,
+    /// Chain-context seed for registry keys (sessions only share prefixes
+    /// registered under the same context — in serving, a policy-spec digest).
+    prefix_context: u64,
+    /// Prompt tokens of the current request served from attached shared blocks.
+    prefix_tokens_reused: usize,
 }
 
 impl<'m> Session<'m> {
@@ -161,6 +184,9 @@ impl<'m> Session<'m> {
             block_reservation: 0,
             prefill: None,
             decode: None,
+            prefix_registry: None,
+            prefix_context: 0,
+            prefix_tokens_reused: 0,
         }
     }
 
@@ -199,6 +225,29 @@ impl<'m> Session<'m> {
     /// is unused).
     pub fn set_block_reservation(&mut self, blocks: usize) {
         self.block_reservation = blocks;
+    }
+
+    /// Connects this session to a prefix registry under the given chain
+    /// context. From then on, prompt forwarding registers every completed full
+    /// block (prefix + policy snapshot) into the registry, and
+    /// [`Session::begin_with_prefix`] attaches to the longest cached prefix of
+    /// a new prompt. The registry must be built over the same block pool as
+    /// this session's cache.
+    pub fn set_prefix_registry(&mut self, registry: SharedPrefixRegistry, context: u64) {
+        self.prefix_registry = Some(registry);
+        self.prefix_context = context;
+    }
+
+    /// Builder form of [`Session::set_prefix_registry`].
+    pub fn with_prefix_registry(mut self, registry: SharedPrefixRegistry, context: u64) -> Self {
+        self.set_prefix_registry(registry, context);
+        self
+    }
+
+    /// Prompt tokens of the current request that were served from attached
+    /// shared blocks instead of being forwarded (0 for cold starts).
+    pub fn prefix_tokens_reused(&self) -> usize {
+        self.prefix_tokens_reused
     }
 
     /// Enables attention-statistics collection (sparsity, CDFs, heat maps).
@@ -269,9 +318,30 @@ impl<'m> Session<'m> {
         self.peak_cache_bytes = 0;
         self.prefill = None;
         self.decode = None;
+        self.prefix_tokens_reused = 0;
         if let Some(stats) = &mut self.stats {
             stats.clear();
         }
+    }
+
+    /// Registers the prompt prefix ending at `processed` tokens into the
+    /// configured registry when it lands on a block boundary. Called after
+    /// each prompt-token forward; a no-op without a registry.
+    fn maybe_register_prefix(&self, processed: usize) -> Result<(), CoreError> {
+        let Some(registry) = &self.prefix_registry else {
+            return Ok(());
+        };
+        if processed == 0 || processed % self.cache.block_size() != 0 {
+            return Ok(());
+        }
+        registry
+            .register(
+                self.prefix_context,
+                &self.sequence[..processed],
+                &self.cache,
+                self.policy.as_ref(),
+            )
+            .map(|_| ())
     }
 
     fn forward(
@@ -337,6 +407,7 @@ impl<'m> Session<'m> {
         let mut logits = Vec::new();
         for (pos, &tok) in prompt.iter().enumerate() {
             logits = self.forward(tok, pos, Phase::Prompt, pos, total_generation_steps)?;
+            self.maybe_register_prefix(pos + 1)?;
         }
         // The paper reduces the cache once at the end of the prompt phase.
         self.evict_to_budget()?;
@@ -358,17 +429,7 @@ impl<'m> Session<'m> {
     /// out-of-vocabulary tokens, and propagates policy-contract violations.
     pub fn begin(&mut self, prompt: &[u32], config: &GenerationConfig) -> Result<(), CoreError> {
         self.reset();
-        if prompt.is_empty() {
-            return Err(CoreError::InvalidConfig("prompt must be non-empty".into()));
-        }
-        for &tok in prompt {
-            if tok as usize >= self.model.config().vocab_size {
-                return Err(CoreError::InvalidConfig(format!(
-                    "prompt token {tok} outside vocabulary of {}",
-                    self.model.config().vocab_size
-                )));
-            }
-        }
+        self.validate_prompt(prompt)?;
         if self.prefill_chunk.is_some() {
             self.budget = self
                 .budget_spec
@@ -383,6 +444,139 @@ impl<'m> Session<'m> {
         let logits = self.process_prompt(prompt, config.max_new_tokens)?;
         self.arm_decode(prompt.len(), prompt.last().copied(), config, logits);
         Ok(())
+    }
+
+    fn validate_prompt(&self, prompt: &[u32]) -> Result<(), CoreError> {
+        if prompt.is_empty() {
+            return Err(CoreError::InvalidConfig("prompt must be non-empty".into()));
+        }
+        for &tok in prompt {
+            if tok as usize >= self.model.config().vocab_size {
+                return Err(CoreError::InvalidConfig(format!(
+                    "prompt token {tok} outside vocabulary of {}",
+                    self.model.config().vocab_size
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Like [`Session::begin`], but first attaches the longest prefix of
+    /// `prompt` cached in the configured registry (if any): the matched blocks
+    /// are mapped into this session's cache copy-on-write, the policy resumes
+    /// from the registry's snapshot at that boundary, and the prefill skips the
+    /// already-computed tokens. Returns how many prompt tokens were reused
+    /// (0 on a registry miss or without a registry — then this is exactly
+    /// `begin`, except that one-shot prefill runs through the resumable-prefill
+    /// machinery).
+    ///
+    /// Attachment is invisible in the output: the generated tokens are
+    /// identical to a cold [`Session::begin`] of the same prompt, for every
+    /// policy in the zoo (the registry's policy snapshot carries the
+    /// accumulated scores and RNG stream position a cold start would have).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on an empty or out-of-vocabulary
+    /// prompt (and on registry/cache pool mismatches), and propagates forward,
+    /// eviction and pool errors.
+    pub fn begin_with_prefix(
+        &mut self,
+        prompt: &[u32],
+        config: &GenerationConfig,
+    ) -> Result<usize, CoreError> {
+        self.reset();
+        self.validate_prompt(prompt)?;
+        self.budget = self
+            .budget_spec
+            .map(|spec| spec.for_prompt_len(prompt.len()));
+        let mut attached = 0;
+        if let Some(registry) = self.prefix_registry.clone() {
+            // At least the final prompt token must be forwarded (its logits
+            // seed the decode), so at most the preceding full blocks attach.
+            let bs = self.cache.block_size();
+            let cap = (prompt.len() - 1) / bs * bs;
+            if cap > 0 {
+                match registry.attach(self.prefix_context, &prompt[..cap], &mut self.cache) {
+                    Ok(Some(prefix)) => {
+                        self.policy = prefix.policy;
+                        self.sequence.extend_from_slice(&prompt[..prefix.tokens]);
+                        self.peak_cache_bytes = self.cache.byte_size();
+                        attached = prefix.tokens;
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        self.reset();
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        self.prefix_tokens_reused = attached;
+        self.prefill = Some(PrefillState {
+            prompt: prompt.to_vec(),
+            config: *config,
+            processed: attached,
+        });
+        if self.prefill_chunk.is_none() {
+            self.finish_prefill_inline()?;
+        }
+        Ok(attached)
+    }
+
+    /// Drives an armed prefill to completion in one call, surfacing an
+    /// unresolvable stall as [`CoreError::PoolExhausted`].
+    fn finish_prefill_inline(&mut self) -> Result<(), CoreError> {
+        while self.is_prefilling() {
+            let progress = self.advance_prefill()?;
+            if progress.stalled && progress.processed == 0 {
+                // Nothing is going to free blocks inside this call: surface
+                // the exhaustion instead of spinning.
+                let stats = self.cache.pool().stats();
+                self.reset();
+                return Err(CoreError::PoolExhausted {
+                    in_use: stats.in_use,
+                    capacity: stats.capacity_blocks.unwrap_or(usize::MAX),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Forks this session into an independent one that shares every current KV
+    /// block copy-on-write: both sessions read the same physical blocks (one
+    /// pool refcount each) until either side writes — an append into a shared
+    /// partial block or an eviction — which forks a private copy for the
+    /// writer. Policy state, token history, budget and any in-flight prefill
+    /// or decode (including the sampling RNG's stream position) are cloned, so
+    /// an undisturbed fork continues exactly like the original would have.
+    ///
+    /// The fork draws from the same pool but carries no scheduler block
+    /// reservation; a serving layer that forks sessions must account for it
+    /// separately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidBlock`] if the pool's accounting disagrees
+    /// with the cache's block tables (a bookkeeping bug).
+    pub fn fork(&self) -> Result<Session<'m>, CoreError> {
+        Ok(Session {
+            model: self.model,
+            policy: self.policy.clone_box(),
+            budget_spec: self.budget_spec,
+            budget: self.budget,
+            cache: self.cache.fork()?,
+            sequence: self.sequence.clone(),
+            stats: self.stats.clone(),
+            peak_cache_bytes: self.peak_cache_bytes,
+            prefill_chunk: self.prefill_chunk,
+            block_reservation: 0,
+            prefill: self.prefill.clone(),
+            decode: self.decode.clone(),
+            prefix_registry: self.prefix_registry.clone(),
+            prefix_context: self.prefix_context,
+            prefix_tokens_reused: self.prefix_tokens_reused,
+        })
     }
 
     fn arm_decode(
@@ -458,8 +652,31 @@ impl<'m> Session<'m> {
             )?;
             p.processed += 1;
             processed_now += 1;
+            self.maybe_register_prefix(p.processed)?;
         }
         if p.processed == p.prompt.len() {
+            // The end-of-prompt eviction may have to CoW-fork blocks this
+            // session shares (an attached prefix compacted in place), and each
+            // fork allocates while the shared original stays pinned. Pre-flight
+            // the worst case so a dry strict pool pauses here — resumable, like
+            // any other stall — instead of failing the request mid-eviction.
+            let may_fork = self.cache.shared_block_count();
+            if may_fork > 0
+                && self.budget.is_some()
+                && !self.cache.pool().can_allocate_transient(
+                    may_fork,
+                    self.cache.total_blocks(),
+                    self.block_reservation,
+                )
+            {
+                self.prefill = Some(p);
+                return Ok(PrefillProgress {
+                    processed: processed_now,
+                    remaining: 0,
+                    ready: false,
+                    stalled: true,
+                });
+            }
             // The paper reduces the cache once, at the end of the prompt phase.
             self.evict_to_budget()?;
             self.arm_decode(p.prompt.len(), p.prompt.last().copied(), &p.config, logits);
@@ -613,19 +830,10 @@ impl<'m> Session<'m> {
         config: &GenerationConfig,
     ) -> Result<GenerationOutput, CoreError> {
         self.begin(prompt, config)?;
-        while self.is_prefilling() {
-            let progress = self.advance_prefill()?;
-            if progress.stalled && progress.processed == 0 {
-                // Nothing else shares this pool in a standalone generate, so a
-                // stall can never resolve: surface it instead of spinning.
-                let stats = self.cache.pool().stats();
-                self.reset();
-                return Err(CoreError::PoolExhausted {
-                    in_use: stats.in_use,
-                    capacity: stats.capacity_blocks.unwrap_or(usize::MAX),
-                });
-            }
-        }
+        // Nothing else shares this pool in a standalone generate, so a stall
+        // can never resolve: finish_prefill_inline surfaces it as an error
+        // instead of spinning.
+        self.finish_prefill_inline()?;
         while self.is_decoding() {
             self.step()?;
         }
@@ -982,6 +1190,142 @@ mod tests {
             session.step().unwrap();
         }
         assert_eq!(session.take_output().unwrap().generated.len(), 2);
+    }
+
+    #[test]
+    fn begin_with_prefix_attaches_and_matches_cold_start() {
+        use keyformer_core::block::SharedBlockPool;
+        use keyformer_core::prefix::SharedPrefixRegistry;
+        let model = ModelFamily::Tiny.build(5);
+        let pool = SharedBlockPool::unbounded(4);
+        let registry = SharedPrefixRegistry::new(&pool);
+        let spec = CacheBudgetSpec::new(0.5, 0.3).unwrap();
+        let config = GenerationConfig::new(5);
+        let shared: Vec<u32> = prompt(16);
+        let mut tail = prompt(24);
+        let suffix: Vec<u32> = tail.split_off(16);
+        let full: Vec<u32> = shared.iter().chain(&suffix).copied().collect();
+
+        // Donor runs cold, registering its prompt blocks as it goes.
+        let mut donor = Session::with_pool(
+            &model,
+            PolicySpec::keyformer_default().build().unwrap(),
+            Some(spec),
+            pool.clone(),
+        )
+        .with_prefix_registry(registry.clone(), 1);
+        let donor_out = donor.generate(&full, &config).unwrap();
+        assert!(registry.len() >= 4, "donor registered its full blocks");
+
+        // Cold reference without any registry.
+        let cold = Session::with_pool(
+            &model,
+            PolicySpec::keyformer_default().build().unwrap(),
+            Some(spec),
+            pool.clone(),
+        )
+        .generate(&full, &config)
+        .unwrap();
+        assert_eq!(donor_out, cold, "registration must not perturb the donor");
+
+        // Attacher reuses the cached prefix and still matches bit-for-bit.
+        let mut attacher = Session::with_pool(
+            &model,
+            PolicySpec::keyformer_default().build().unwrap(),
+            Some(spec),
+            pool.clone(),
+        )
+        .with_prefix_registry(registry.clone(), 1);
+        let reused = attacher.begin_with_prefix(&full, &config).unwrap();
+        assert_eq!(reused, 20, "floor((24-1)/4)*4 = 20 tokens attach");
+        assert_eq!(attacher.prefix_tokens_reused(), 20);
+        while attacher.is_decoding() {
+            attacher.step().unwrap();
+        }
+        assert_eq!(attacher.take_output().unwrap(), cold);
+        // A different context never matches.
+        let mut stranger = Session::with_pool(
+            &model,
+            PolicySpec::keyformer_default().build().unwrap(),
+            Some(spec),
+            pool.clone(),
+        )
+        .with_prefix_registry(registry, 2);
+        assert_eq!(stranger.begin_with_prefix(&full, &config).unwrap(), 0);
+    }
+
+    #[test]
+    fn forked_session_continues_identically_and_independently() {
+        let model = ModelFamily::Tiny.build(6);
+        let spec = CacheBudgetSpec::new(0.5, 0.3).unwrap();
+        let config = GenerationConfig::new(8);
+        let mut original = Session::new(
+            &model,
+            PolicySpec::keyformer_default().build().unwrap(),
+            Some(spec),
+        );
+        original.begin(&prompt(20), &config).unwrap();
+        for _ in 0..3 {
+            original.step().unwrap();
+        }
+        let mut fork = original.fork().unwrap();
+        assert_eq!(fork.sequence(), original.sequence());
+        assert_eq!(fork.generated(), original.generated());
+        // Both sides finish independently and produce the same continuation
+        // (same RNG stream position, same CoW-shared cache contents).
+        while original.is_decoding() {
+            original.step().unwrap();
+        }
+        while fork.is_decoding() {
+            fork.step().unwrap();
+        }
+        let a = original.take_output().unwrap();
+        let b = fork.take_output().unwrap();
+        assert_eq!(a, b);
+        // And the whole thing matches an unforked run.
+        let solo = Session::new(
+            &model,
+            PolicySpec::keyformer_default().build().unwrap(),
+            Some(spec),
+        )
+        .generate(&prompt(20), &config)
+        .unwrap();
+        assert_eq!(a, solo);
+    }
+
+    #[test]
+    fn fork_mid_prefill_resumes_on_both_sides() {
+        use keyformer_core::block::SharedBlockPool;
+        let model = ModelFamily::Tiny.build(7);
+        let pool = SharedBlockPool::unbounded(4);
+        let config = GenerationConfig::new(4);
+        let mut original = Session::with_pool(
+            &model,
+            PolicySpec::h2o_default().build().unwrap(),
+            Some(CacheBudgetSpec::new(0.5, 0.3).unwrap()),
+            pool.clone(),
+        )
+        .with_prefill_chunk(6);
+        original.begin(&prompt(20), &config).unwrap();
+        original.advance_prefill().unwrap();
+        let mut fork = original.fork().unwrap();
+        assert!(fork.is_prefilling());
+        assert_eq!(fork.prefill_remaining(), original.prefill_remaining());
+        let finish = |s: &mut Session<'_>| {
+            while s.is_prefilling() {
+                s.advance_prefill().unwrap();
+            }
+            while s.is_decoding() {
+                s.step().unwrap();
+            }
+            s.take_output().unwrap()
+        };
+        let a = finish(&mut original);
+        let b = finish(&mut fork);
+        assert_eq!(a, b);
+        drop(original);
+        drop(fork);
+        assert_eq!(pool.blocks_in_use(), 0, "forked blocks all returned");
     }
 
     #[test]

@@ -51,4 +51,6 @@ pub mod request;
 pub mod server;
 
 pub use request::{Completion, FailedRequest, FailureReason, Request, RequestId, RequestOverrides};
-pub use server::{Server, ServerConfig, ServerStats, DEFAULT_SERVE_BLOCK_SIZE};
+pub use server::{
+    AdmissionOrder, Server, ServerConfig, ServerStats, StepReport, DEFAULT_SERVE_BLOCK_SIZE,
+};

@@ -142,10 +142,14 @@ pub struct Completion {
     pub output: GenerationOutput,
     /// Scheduler step at which the request was submitted.
     pub submitted_step: usize,
-    /// Scheduler step at which the request was admitted (prefill ran).
+    /// Scheduler step at which the request was admitted (prefill ran). A
+    /// preempted-and-resumed request reports its *last* admission.
     pub admitted_step: usize,
     /// Scheduler step at which the final token was produced.
     pub completed_step: usize,
+    /// Prompt tokens served from shared prefix-cache blocks instead of being
+    /// recomputed (0 without prefix sharing, or on a registry miss).
+    pub prefix_tokens_reused: usize,
 }
 
 impl Completion {
@@ -227,6 +231,7 @@ mod tests {
             submitted_step: 2,
             admitted_step: 5,
             completed_step: 9,
+            prefix_tokens_reused: 0,
         };
         assert_eq!(c.latency_steps(), 7);
         assert_eq!(c.queue_steps(), 3);

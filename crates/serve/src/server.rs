@@ -46,8 +46,11 @@
 //! contiguous per-sequence buffer.
 
 use crate::request::{Completion, FailedRequest, FailureReason, Request, RequestId};
-use keyformer_core::block::{blocks_for_slots, BlockPoolStats, OvercommitPolicy, SharedBlockPool};
+use keyformer_core::block::{
+    blocks_for_slots, BlockId, BlockPoolStats, OvercommitPolicy, SharedBlockPool,
+};
 use keyformer_core::budget::CacheBudgetSpec;
+use keyformer_core::prefix::{policy_context, PrefixRegistryStats, SharedPrefixRegistry};
 use keyformer_core::spec::PolicySpec;
 use keyformer_core::CoreError;
 use keyformer_model::model::TransformerModel;
@@ -61,6 +64,28 @@ use std::collections::VecDeque;
 /// the pool sizes the experiments use: each sequence wastes at most
 /// `block_size - 1` slots per layer to internal fragmentation.
 pub const DEFAULT_SERVE_BLOCK_SIZE: usize = 8;
+
+/// Consecutive zero-progress stalled steps after which a starved prefill
+/// triggers preemption of the youngest running session (registry pins are
+/// reclaimed one step earlier).
+const PREEMPT_AFTER_STALLS: usize = 2;
+
+/// In which order queued requests are considered for admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AdmissionOrder {
+    /// Strict first-in-first-out (the default): the head blocks the queue
+    /// until its reservation fits, keeping completion order deterministic and
+    /// starvation-free.
+    #[default]
+    Fifo,
+    /// Latency-aware: admit the queued request with the fewest prompt tokens
+    /// left to prefill — prompt length minus whatever a prefix-cache hit would
+    /// reuse — tie-broken by submission order. Short interactive requests
+    /// overtake long ones at admission (running sessions are never reordered);
+    /// a steady stream of short prompts can starve a long one, which is the
+    /// knob's documented trade-off.
+    ShortestPrefillFirst,
+}
 
 /// Static configuration of a [`Server`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -88,6 +113,16 @@ pub struct ServerConfig {
     /// When `true`, the block pool hard-enforces its capacity: allocations past
     /// it fail and chunked prefills pause instead. Requires `prefill_chunk`.
     pub strict_pool: bool,
+    /// When `true`, the server keeps a [`SharedPrefixRegistry`] over the pool:
+    /// prompt blocks are registered as prefills run, admissions attach to the
+    /// longest cached prefix of their prompt (skipping those prefill chunks and
+    /// reporting [`Completion::prefix_tokens_reused`]), and admission reserves
+    /// only the non-shared suffix blocks of unbudgeted requests on
+    /// non-strict pools. Defaults to `false`, which reproduces the
+    /// sharing-free scheduler bit for bit.
+    pub prefix_sharing: bool,
+    /// Order in which queued requests are admitted (default FIFO).
+    pub admission_order: AdmissionOrder,
 }
 
 impl ServerConfig {
@@ -104,6 +139,8 @@ impl ServerConfig {
             block_size: DEFAULT_SERVE_BLOCK_SIZE,
             prefill_chunk: None,
             strict_pool: false,
+            prefix_sharing: false,
+            admission_order: AdmissionOrder::Fifo,
         }
     }
 
@@ -135,6 +172,18 @@ impl ServerConfig {
     /// Switches the pool's capacity discipline; see [`ServerConfig::strict_pool`].
     pub fn with_strict_pool(mut self, strict: bool) -> Self {
         self.strict_pool = strict;
+        self
+    }
+
+    /// Enables or disables prefix sharing; see [`ServerConfig::prefix_sharing`].
+    pub fn with_prefix_sharing(mut self, sharing: bool) -> Self {
+        self.prefix_sharing = sharing;
+        self
+    }
+
+    /// Sets the admission order; see [`AdmissionOrder`].
+    pub fn with_admission_order(mut self, order: AdmissionOrder) -> Self {
+        self.admission_order = order;
         self
     }
 
@@ -185,12 +234,21 @@ struct Pending {
 }
 
 struct Running<'m> {
-    id: RequestId,
+    /// The original request, kept whole so preemption can re-queue it.
+    request: Request,
     session: Session<'m>,
     /// Blocks reserved against the pool at admission, returned at retirement.
     reserved_blocks: usize,
     submitted_step: usize,
     admitted_step: usize,
+    /// Consecutive steps this session's prefill stalled with zero progress.
+    stall_streak: usize,
+}
+
+impl Running<'_> {
+    fn id(&self) -> RequestId {
+        self.request.id
+    }
 }
 
 /// Aggregate counters of one server's lifetime, used by the throughput and
@@ -220,6 +278,12 @@ pub struct ServerStats {
     /// step. With `live_slot_steps`, this yields the pool-utilization metric
     /// the paging experiment reports.
     pub allocated_slot_steps: u64,
+    /// Running sessions swapped out (blocks released, request re-queued)
+    /// because a starved prefill could not otherwise make progress.
+    pub preemptions: usize,
+    /// Prompt tokens served from shared prefix-cache blocks, summed over
+    /// admissions (including re-admissions after preemption).
+    pub prefix_tokens_reused: u64,
 }
 
 impl ServerStats {
@@ -253,6 +317,55 @@ impl ServerStats {
     }
 }
 
+/// What one [`Server::step`] did, with an end-of-step snapshot of the memory
+/// state: pool accounting (including shared-block counts), occupancy-level
+/// fragmentation, and the prefix registry's counters when sharing is on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepReport {
+    /// 1-based index of the step this report describes.
+    pub step: usize,
+    /// Token-level decode steps executed (the old `step()` return value).
+    pub decode_steps: usize,
+    /// Prefill work units (chunks or whole prompts) executed.
+    pub prefill_chunks: usize,
+    /// Requests admitted into running sessions.
+    pub admitted: usize,
+    /// Requests retired into completions.
+    pub completed: usize,
+    /// Requests retired as failures.
+    pub failed: usize,
+    /// Running sessions swapped out under pool pressure.
+    pub preempted: usize,
+    /// Live token slots in physical blocks at end of step — shared blocks
+    /// counted once, registry-pinned blocks included (see
+    /// [`Server::physical_live_slots`]).
+    pub live_slots: usize,
+    /// Token slots covered by allocated blocks at end of step.
+    pub allocated_slots: usize,
+    /// Pool accounting snapshot (in-use/reserved/peaks/churn/shared blocks).
+    pub pool: BlockPoolStats,
+    /// Prefix-registry counters (`None` unless
+    /// [`ServerConfig::prefix_sharing`] is on).
+    pub registry: Option<PrefixRegistryStats>,
+}
+
+impl StepReport {
+    /// Live slots over allocated slots at end of step (1.0 for an empty pool).
+    pub fn utilization(&self) -> f64 {
+        if self.allocated_slots == 0 {
+            1.0
+        } else {
+            self.live_slots as f64 / self.allocated_slots as f64
+        }
+    }
+
+    /// Fraction of allocated slots holding no live token — the pool's internal
+    /// fragmentation right now.
+    pub fn fragmentation(&self) -> f64 {
+        1.0 - self.utilization()
+    }
+}
+
 /// A continuous-batching server over one shared model and one shared block pool.
 pub struct Server<'m> {
     model: &'m TransformerModel,
@@ -263,6 +376,8 @@ pub struct Server<'m> {
     total_blocks: usize,
     num_layers: usize,
     pool: SharedBlockPool,
+    /// Prefix registry over `pool` (`Some` iff `config.prefix_sharing`).
+    registry: Option<SharedPrefixRegistry>,
     queue: VecDeque<Pending>,
     running: Vec<Running<'m>>,
     completed: Vec<Completion>,
@@ -298,6 +413,9 @@ impl<'m> Server<'m> {
             OvercommitPolicy::AllowTransient
         };
         let pool = SharedBlockPool::bounded(config.block_size, total_blocks, overcommit)?;
+        let registry = config
+            .prefix_sharing
+            .then(|| SharedPrefixRegistry::new(&pool));
         Ok(Server {
             model,
             config,
@@ -306,6 +424,7 @@ impl<'m> Server<'m> {
             total_blocks,
             num_layers,
             pool,
+            registry,
             queue: VecDeque::new(),
             running: Vec::new(),
             completed: Vec::new(),
@@ -345,6 +464,39 @@ impl<'m> Server<'m> {
         self.pool.stats()
     }
 
+    /// The prefix registry, when [`ServerConfig::prefix_sharing`] is enabled.
+    pub fn prefix_registry(&self) -> Option<&SharedPrefixRegistry> {
+        self.registry.as_ref()
+    }
+
+    /// The registry's counters, when prefix sharing is enabled.
+    pub fn registry_stats(&self) -> Option<PrefixRegistryStats> {
+        self.registry.as_ref().map(SharedPrefixRegistry::stats)
+    }
+
+    /// Prompt tokens of `request` a prefix-cache attach would reuse right now
+    /// (full blocks only, and never the final prompt token). 0 without prefix
+    /// sharing.
+    pub fn reusable_prefix_tokens(&self, request: &Request) -> usize {
+        let Some(registry) = &self.registry else {
+            return 0;
+        };
+        if request.prompt.len() <= 1 {
+            return 0;
+        }
+        let bs = self.config.block_size;
+        let cap = (request.prompt.len() - 1) / bs * bs;
+        let context = policy_context(&request.effective_policy(self.config.policy));
+        registry.match_tokens(context, &request.prompt[..cap])
+    }
+
+    /// Prompt tokens `request` would still have to forward at admission, after
+    /// any prefix-cache reuse — the quantity
+    /// [`AdmissionOrder::ShortestPrefillFirst`] orders by.
+    pub fn remaining_prefill_tokens(&self, request: &Request) -> usize {
+        request.prompt.len() - self.reusable_prefix_tokens(request)
+    }
+
     /// Per-layer steady-state slot count of `request` under its effective
     /// budget: the capacity a running decode settles at after the end-of-prompt
     /// eviction, or the full sequence when unbudgeted.
@@ -380,6 +532,27 @@ impl<'m> Server<'m> {
         self.num_layers * blocks_for_slots(peak_slots, self.config.block_size)
     }
 
+    /// Blocks admission actually reserves for `request`: the steady-state
+    /// count, minus — for *unbudgeted* requests on a *non-strict* pool — the
+    /// full blocks a prefix-cache attach will serve from shared storage.
+    /// Unbudgeted sequences never write into attached blocks (appends only
+    /// ever touch blocks past the attached prefix), so those blocks stay
+    /// shared for the request's whole life and are already allocated.
+    /// Budgeted requests keep their full reservation: the end-of-prompt
+    /// eviction compacts *inside* the prefix, CoW-forking it into private
+    /// blocks that the reservation must cover. Strict pools also keep the full
+    /// reservation, because their no-overshoot guarantee is proven against
+    /// reservations covering every private block a session can hold.
+    pub fn admission_reservation(&self, request: &Request) -> usize {
+        let full = self.reserved_blocks_for(request);
+        if self.config.strict_pool || request.effective_budget(self.config.budget).is_some() {
+            return full;
+        }
+        let shared_blocks =
+            self.num_layers * (self.reusable_prefix_tokens(request) / self.config.block_size);
+        full.saturating_sub(shared_blocks)
+    }
+
     /// Steady-state byte reservation of `request` at block granularity — the
     /// quantity admission holds below the pool.
     pub fn projected_kv_bytes(&self, request: &Request) -> usize {
@@ -394,6 +567,33 @@ impl<'m> Server<'m> {
     /// Actual live KV bytes across running sessions right now.
     pub fn live_kv_bytes(&self) -> usize {
         self.running.iter().map(|r| r.session.cache_bytes()).sum()
+    }
+
+    /// Live token slots in *physical* blocks right now: every block counted
+    /// once however many sessions map it (CoW sharing would otherwise inflate
+    /// a per-session sum past the allocated total), plus the registry's pinned
+    /// blocks, which hold a full block of valid cached rows each. This is the
+    /// numerator of the pool-utilization metric.
+    pub fn physical_live_slots(&self) -> usize {
+        let mut seen: std::collections::HashSet<BlockId> = std::collections::HashSet::new();
+        let mut live = 0;
+        for r in &self.running {
+            for layer in r.session.cache().iter() {
+                for (id, rows) in layer.block_rows() {
+                    if seen.insert(id) {
+                        live += rows;
+                    }
+                }
+            }
+        }
+        if let Some(registry) = &self.registry {
+            for id in registry.pinned_block_ids() {
+                if seen.insert(id) {
+                    live += self.config.block_size;
+                }
+            }
+        }
+        live
     }
 
     /// Number of requests waiting in the admission queue.
@@ -474,6 +674,9 @@ impl<'m> Server<'m> {
                     if progress.processed > 0 {
                         *budget -= 1;
                         self.stats.prefill_chunks += 1;
+                        self.running[i].stall_streak = 0;
+                    } else if progress.stalled {
+                        self.running[i].stall_streak += 1;
                     }
                     if progress.ready {
                         self.stats.prefills += 1;
@@ -483,13 +686,112 @@ impl<'m> Server<'m> {
                 Err(e) => {
                     let running = self.running.remove(i);
                     self.pool.unreserve(running.reserved_blocks);
-                    self.fail(running.id, FailureReason::Engine(e));
+                    self.fail(running.id(), FailureReason::Engine(e));
                 }
             }
         }
     }
 
-    fn admit(&mut self, budget: &mut usize) {
+    /// `true` while the running session at `idx` could not make prefill
+    /// progress — mirroring exactly the reservation-aware pre-flight
+    /// [`Session::advance_prefill`] stalls on: the next token's block need
+    /// while prompt tokens remain, or the worst-case copy-on-write fork count
+    /// once only the end-of-prompt eviction is pending. (Using the wrong
+    /// `needed` here would let relief stop while the session's own gate still
+    /// fails, stalling it forever.)
+    fn prefill_starved(&self, idx: usize) -> bool {
+        let r = &self.running[idx];
+        let cache = r.session.cache();
+        let needed = if r.session.prefill_remaining() == 0 {
+            cache.shared_block_count()
+        } else {
+            cache.blocks_needed_for_next_token()
+        };
+        if needed == 0 {
+            return false;
+        }
+        !self
+            .pool
+            .can_allocate_transient(needed, cache.total_blocks(), r.reserved_blocks)
+    }
+
+    /// Frees memory for a prefill that is starving on a dry pool: first
+    /// reclaims prefix-registry pins (least-recently-used first; attached
+    /// sequences keep their own refcounts and are unaffected), and once the
+    /// stall has persisted for [`PREEMPT_AFTER_STALLS`] whole steps, swaps out
+    /// the *youngest* running session — its private blocks return to the pool,
+    /// its shared blocks stay pinned for whoever still maps them, and its
+    /// request goes back to the head of the queue to be re-admitted later (the
+    /// resumable-prefill machinery plus prefix re-attachment make the redo
+    /// cheap, and per-request seeding makes it token-identical).
+    fn relieve_pressure(&mut self) {
+        let stalled = self
+            .running
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.session.is_prefilling() && r.stall_streak > 0)
+            .max_by_key(|(_, r)| r.stall_streak)
+            .map(|(i, r)| (i, r.stall_streak));
+        let Some((stalled_idx, streak)) = stalled else {
+            return;
+        };
+        while self.prefill_starved(stalled_idx) {
+            let evicted = self
+                .registry
+                .as_ref()
+                .is_some_and(SharedPrefixRegistry::evict_lru);
+            if !evicted {
+                break;
+            }
+        }
+        if streak < PREEMPT_AFTER_STALLS || !self.prefill_starved(stalled_idx) {
+            return;
+        }
+        let victim_idx = self
+            .running
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != stalled_idx)
+            .max_by_key(|&(i, r)| (r.admitted_step, i))
+            .map(|(i, _)| i);
+        if let Some(idx) = victim_idx {
+            let victim = self.running.remove(idx);
+            self.pool.unreserve(victim.reserved_blocks);
+            // Dropping the session releases its private blocks (and its own
+            // refs on shared ones).
+            self.queue.push_front(Pending {
+                submitted_step: victim.submitted_step,
+                request: victim.request,
+            });
+            self.stats.preemptions += 1;
+        }
+    }
+
+    /// Index of the next queued request to consider for admission, under the
+    /// configured [`AdmissionOrder`]. The shortest-prefill-first scan walks
+    /// the registry chain of every queued prompt, so it costs
+    /// O(queue × prompt) hashing per admission — fine at batch-queue depths;
+    /// a deeper queue would want the match length cached on `Pending`.
+    fn admission_candidate(&self) -> Option<usize> {
+        match self.config.admission_order {
+            AdmissionOrder::Fifo => (!self.queue.is_empty()).then_some(0),
+            AdmissionOrder::ShortestPrefillFirst => self
+                .queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, p)| {
+                    (
+                        self.remaining_prefill_tokens(&p.request),
+                        p.submitted_step,
+                        *i,
+                    )
+                })
+                .map(|(i, _)| i),
+        }
+    }
+
+    fn admit(&mut self, budget: &mut usize) -> usize {
+        let mut admitted = 0;
         while *budget > 0 && self.running.len() < self.config.max_concurrency {
             if self.config.strict_pool && self.running.iter().any(|r| r.session.is_prefilling()) {
                 // Strict pools serialize prefills: concurrent half-done
@@ -498,17 +800,17 @@ impl<'m> Server<'m> {
                 // decoding sessions always retire eventually.
                 break;
             }
-            let Some(front) = self.queue.front() else {
+            let Some(candidate) = self.admission_candidate() else {
                 break;
             };
-            let reserved = self.reserved_blocks_for(&front.request);
-            let peak = self.peak_blocks_for(&front.request);
+            let reserved = self.admission_reservation(&self.queue[candidate].request);
+            let peak = self.peak_blocks_for(&self.queue[candidate].request);
             let impossible = reserved > self.total_blocks
                 || (self.config.strict_pool && peak > self.total_blocks);
             if impossible {
                 // Can never fit, even alone: retire instead of deadlocking the
-                // FIFO queue behind it.
-                let pending = self.queue.pop_front().expect("front exists");
+                // queue behind it.
+                let pending = self.queue.remove(candidate).expect("candidate exists");
                 let blocks = if self.config.strict_pool {
                     peak
                 } else {
@@ -524,10 +826,29 @@ impl<'m> Server<'m> {
                 continue;
             }
             if !self.pool.try_reserve(reserved) {
-                // FIFO: the head waits for blocks; nothing behind it may jump.
-                break;
+                // On a strict pool the registry's pins hold reservations of
+                // their own; peel least-recently-used entries until the
+                // candidate fits or the registry is dry.
+                let mut fits = false;
+                if self.config.strict_pool {
+                    while let Some(registry) = &self.registry {
+                        if !registry.evict_lru() {
+                            break;
+                        }
+                        if self.pool.try_reserve(reserved) {
+                            fits = true;
+                            break;
+                        }
+                    }
+                }
+                if !fits {
+                    // The chosen candidate waits for blocks; nothing else may
+                    // jump it (under FIFO that is the head, preserving
+                    // submission order exactly).
+                    break;
+                }
             }
-            let pending = self.queue.pop_front().expect("front exists");
+            let pending = self.queue.remove(candidate).expect("candidate exists");
             let policy_spec = pending.request.effective_policy(self.config.policy);
             let budget_spec = pending.request.effective_budget(self.config.budget);
             let policy = match policy_spec.build() {
@@ -544,8 +865,19 @@ impl<'m> Server<'m> {
                 Session::with_pool(self.model, policy, budget_spec, self.pool.clone());
             session.set_prefill_chunk(self.config.prefill_chunk);
             session.set_block_reservation(reserved);
-            match session.begin(&pending.request.prompt, &pending.request.config) {
+            let begun = match &self.registry {
+                Some(registry) => {
+                    session.set_prefix_registry(registry.clone(), policy_context(&policy_spec));
+                    session
+                        .begin_with_prefix(&pending.request.prompt, &pending.request.config)
+                        .map(|_| ())
+                }
+                None => session.begin(&pending.request.prompt, &pending.request.config),
+            };
+            match begun {
                 Ok(()) => {
+                    self.stats.prefix_tokens_reused += session.prefix_tokens_reused() as u64;
+                    let mut stall_streak = 0;
                     if session.is_prefilling() {
                         // Chunked: the first chunk runs in this step's prefill
                         // budget, right here at admission.
@@ -555,6 +887,9 @@ impl<'m> Server<'m> {
                                 self.stats.prefill_chunks += 1;
                                 if progress.stalled {
                                     self.stats.prefill_stalls += 1;
+                                    if progress.processed == 0 {
+                                        stall_streak = 1;
+                                    }
                                 }
                                 if progress.ready {
                                     self.stats.prefills += 1;
@@ -573,12 +908,14 @@ impl<'m> Server<'m> {
                         self.stats.prefills += 1;
                         self.stats.prefill_chunks += 1;
                     }
+                    admitted += 1;
                     self.running.push(Running {
-                        id: pending.request.id,
+                        request: pending.request,
                         session,
                         reserved_blocks: reserved,
                         submitted_step: pending.submitted_step,
                         admitted_step: self.step,
+                        stall_streak,
                     })
                 }
                 Err(e) => {
@@ -587,6 +924,7 @@ impl<'m> Server<'m> {
                 }
             }
         }
+        admitted
     }
 
     fn decode_round(&mut self) -> usize {
@@ -608,7 +946,7 @@ impl<'m> Server<'m> {
                     Err(e) => {
                         let running = self.running.remove(i);
                         self.pool.unreserve(running.reserved_blocks);
-                        self.fail(running.id, FailureReason::Engine(e));
+                        self.fail(running.id(), FailureReason::Engine(e));
                         continue;
                     }
                 }
@@ -624,7 +962,8 @@ impl<'m> Server<'m> {
                     .expect("finished session has an output");
                 // Dropping the session below returns its blocks to the pool.
                 self.completed.push(Completion {
-                    id: done.id,
+                    id: done.id(),
+                    prefix_tokens_reused: done.session.prefix_tokens_reused(),
                     output,
                     submitted_step: done.submitted_step,
                     admitted_step: done.admitted_step,
@@ -635,29 +974,43 @@ impl<'m> Server<'m> {
         executed
     }
 
-    /// Runs one batched scheduler step (prefill continuation + admission + one
-    /// decode token for every running session past its prefill) and returns the
-    /// number of token-level decode steps executed.
-    pub fn step(&mut self) -> usize {
+    /// Runs one batched scheduler step — prefill continuation, pressure relief
+    /// (registry trim / preemption), admission, and one decode token for every
+    /// running session past its prefill — and reports what happened plus an
+    /// end-of-step memory snapshot.
+    pub fn step(&mut self) -> StepReport {
         self.step += 1;
+        let completed_before = self.completed.len();
+        let failed_before = self.failed.len();
+        let preempted_before = self.stats.preemptions;
+        let chunks_before = self.stats.prefill_chunks;
         let mut prefill_budget = self.config.prefills_per_step;
         self.continue_prefills(&mut prefill_budget);
-        self.admit(&mut prefill_budget);
+        self.relieve_pressure();
+        let admitted = self.admit(&mut prefill_budget);
         let executed = self.decode_round();
         self.stats.steps += 1;
         self.stats.peak_concurrency = self.stats.peak_concurrency.max(self.running.len());
         let live = self.live_kv_bytes();
         self.stats.live_kv_byte_steps += live as u64;
         self.stats.peak_live_kv_bytes = self.stats.peak_live_kv_bytes.max(live);
-        let live_slots: usize = self
-            .running
-            .iter()
-            .map(|r| r.session.cache().total_slots())
-            .sum();
+        let live_slots = self.physical_live_slots();
+        let allocated_slots = self.pool.blocks_in_use() * self.config.block_size;
         self.stats.live_slot_steps += live_slots as u64;
-        self.stats.allocated_slot_steps +=
-            (self.pool.blocks_in_use() * self.config.block_size) as u64;
-        executed
+        self.stats.allocated_slot_steps += allocated_slots as u64;
+        StepReport {
+            step: self.step,
+            decode_steps: executed,
+            prefill_chunks: self.stats.prefill_chunks - chunks_before,
+            admitted,
+            completed: self.completed.len() - completed_before,
+            failed: self.failed.len() - failed_before,
+            preempted: self.stats.preemptions - preempted_before,
+            live_slots,
+            allocated_slots,
+            pool: self.pool.stats(),
+            registry: self.registry_stats(),
+        }
     }
 
     /// Runs up to `max_steps` scheduler steps, stopping early once idle.
@@ -706,7 +1059,11 @@ mod tests {
         let model = ModelFamily::Tiny.build(1);
         let mut server = keyformer_server(&model, 64);
         assert!(server.is_idle());
-        assert_eq!(server.step(), 0);
+        let report = server.step();
+        assert_eq!(report.decode_steps, 0);
+        assert_eq!(report.admitted, 0);
+        assert_eq!(report.utilization(), 1.0, "empty pool is not fragmented");
+        assert!(report.registry.is_none(), "sharing is off by default");
         assert!(server.completions().is_empty());
     }
 
@@ -1158,6 +1515,237 @@ mod tests {
             "the scenario must actually exercise a stalled prefill"
         );
         assert_eq!(server.pool_stats().peak_overshoot(), 0);
+    }
+
+    /// Requests sharing an L-token prefix, each with a unique suffix.
+    fn shared_prefix_requests(
+        num: usize,
+        prefix_len: usize,
+        total_len: usize,
+        gen: usize,
+    ) -> Vec<Request> {
+        (0..num)
+            .map(|i| {
+                let mut p: Vec<u32> = (0..prefix_len).map(|t| (t as u32 * 13 + 7) % 120).collect();
+                p.extend(
+                    (prefix_len..total_len)
+                        .map(|t| (t as u32 * 13 + 7 + (i as u32 + 1) * 31) % 120),
+                );
+                Request::new(i as u64, p, GenerationConfig::new(gen))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefix_sharing_reuses_blocks_and_keeps_outputs_identical() {
+        let model = ModelFamily::Tiny.build(14);
+        let bytes = model.empty_cache().bytes_per_token();
+        let base = ServerConfig::new(
+            PolicySpec::keyformer_default(),
+            Some(CacheBudgetSpec::new(0.5, 0.3).unwrap()),
+            96 * bytes,
+        )
+        .with_block_size(4)
+        .with_prefill_chunk(8);
+        let run = |config: ServerConfig| {
+            let mut server = Server::new(&model, config).unwrap();
+            for r in shared_prefix_requests(4, 16, 28, 4) {
+                server.submit(r).unwrap();
+            }
+            server.run(512);
+            assert!(server.is_idle());
+            assert!(server.failures().is_empty());
+            let mut completions = server.completed.clone();
+            completions.sort_by_key(|c| c.id);
+            (completions, *server.stats(), server.pool_stats())
+        };
+        let (cold, cold_stats, _) = run(base);
+        let (shared, shared_stats, shared_pool) = run(base.with_prefix_sharing(true));
+        assert_eq!(cold.len(), shared.len());
+        for (a, b) in cold.iter().zip(&shared) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                a.output, b.output,
+                "sharing changed request {} output",
+                a.id
+            );
+        }
+        // The first request is the cold donor; every later one attaches the
+        // 16-token prefix.
+        assert_eq!(shared[0].prefix_tokens_reused, 0);
+        for c in &shared[1..] {
+            assert_eq!(c.prefix_tokens_reused, 16, "request {}", c.id);
+        }
+        assert_eq!(shared_stats.prefix_tokens_reused, 3 * 16);
+        assert_eq!(cold_stats.prefix_tokens_reused, 0);
+        assert!(
+            shared_stats.prefill_chunks < cold_stats.prefill_chunks,
+            "attached prefixes must skip prefill work ({} vs {})",
+            shared_stats.prefill_chunks,
+            cold_stats.prefill_chunks
+        );
+        assert!(
+            shared_pool.peak_shared_blocks > 0,
+            "shared mappings must show up in the pool accounting"
+        );
+    }
+
+    #[test]
+    fn shortest_prefill_first_reorders_admission_only() {
+        let model = ModelFamily::Tiny.build(15);
+        // Pool fits one request at a time so admission order == completion
+        // order.
+        let mut server = Server::new(
+            &model,
+            ServerConfig::new(
+                PolicySpec::keyformer_default(),
+                Some(CacheBudgetSpec::new(0.5, 0.3).unwrap()),
+                12 * model.empty_cache().bytes_per_token(),
+            )
+            .with_block_size(4)
+            .with_admission_order(AdmissionOrder::ShortestPrefillFirst),
+        )
+        .unwrap();
+        // Long, short, medium — SPF admits short prompts first.
+        for (id, len) in [(0u64, 24usize), (1, 8), (2, 16)] {
+            server
+                .submit(Request::new(
+                    id,
+                    prompt(len, id as u32),
+                    GenerationConfig::new(2),
+                ))
+                .unwrap();
+        }
+        server.run(256);
+        assert!(server.is_idle());
+        let ids: Vec<u64> = server.completions().iter().map(|c| c.id.raw()).collect();
+        assert_eq!(ids, vec![1, 2, 0]);
+        // The same workload under FIFO preserves submission order.
+        let mut fifo = keyformer_server(&model, 12);
+        for (id, len) in [(0u64, 24usize), (1, 8), (2, 16)] {
+            fifo.submit(Request::new(
+                id,
+                prompt(len, id as u32),
+                GenerationConfig::new(2),
+            ))
+            .unwrap();
+        }
+        fifo.run(256);
+        let ids: Vec<u64> = fifo.completions().iter().map(|c| c.id.raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn step_reports_surface_memory_state() {
+        let model = ModelFamily::Tiny.build(16);
+        let bytes = model.empty_cache().bytes_per_token();
+        let mut server = Server::new(
+            &model,
+            ServerConfig::new(
+                PolicySpec::keyformer_default(),
+                Some(CacheBudgetSpec::new(0.5, 0.3).unwrap()),
+                96 * bytes,
+            )
+            .with_block_size(4)
+            .with_prefix_sharing(true),
+        )
+        .unwrap();
+        for r in shared_prefix_requests(2, 16, 24, 3) {
+            server.submit(r).unwrap();
+        }
+        let first = server.step();
+        assert_eq!(first.step, 1);
+        assert_eq!(first.admitted, 1, "one prefill slot per step");
+        assert!(first.allocated_slots > 0);
+        assert!(first.live_slots > 0);
+        assert!(first.utilization() > 0.0 && first.utilization() <= 1.0);
+        assert!((first.fragmentation() + first.utilization() - 1.0).abs() < 1e-12);
+        assert_eq!(first.pool.in_use * 4, first.allocated_slots);
+        let registry = first.registry.expect("sharing is on");
+        assert!(registry.entries > 0, "donor registered its prompt blocks");
+        assert_eq!(registry.hits, 0, "nothing attached yet");
+        let second = server.step();
+        assert_eq!(second.admitted, 1);
+        assert_eq!(
+            second.registry.unwrap().hits,
+            1,
+            "second admission attached the donor's prefix"
+        );
+        server.run(256);
+        assert!(server.is_idle());
+        // The registry keeps pinning prefix blocks after retirement...
+        assert!(server.pool().blocks_in_use() > 0);
+        assert!(server.registry_stats().unwrap().blocks_held > 0);
+        // ...until it is cleared, which drains the pool completely.
+        server.prefix_registry().unwrap().clear();
+        assert_eq!(server.pool().blocks_in_use(), 0);
+    }
+
+    #[test]
+    fn dry_strict_pool_preempts_youngest_and_still_completes_everything() {
+        let model = ModelFamily::Tiny.build(17);
+        let bytes = model.empty_cache().bytes_per_token();
+        // A long-decoding budgeted session (admitted first, holding its blocks
+        // for many steps) shares a 14-block strict pool with a 24-token
+        // prompt whose prefill transient (12 blocks) cannot fit alongside it.
+        // The prefill stalls step after step; after PREEMPT_AFTER_STALLS the
+        // scheduler must swap the *youngest other* session out (here: the
+        // decoder) rather than let the older prefill starve indefinitely.
+        let budget = CacheBudgetSpec::new(0.5, 0.3).unwrap();
+        let mut server = Server::new(
+            &model,
+            ServerConfig::new(PolicySpec::keyformer_default(), Some(budget), 28 * bytes)
+                .with_block_size(4)
+                .with_prefill_chunk(4)
+                .with_strict_pool(true),
+        )
+        .unwrap();
+        assert_eq!(server.total_blocks(), 14);
+        server
+            .submit(Request::new(0, prompt(16, 0), GenerationConfig::new(24)))
+            .unwrap();
+        server
+            .submit(Request::new(1, prompt(24, 1), GenerationConfig::new(4)))
+            .unwrap();
+        let capacity = server.total_blocks();
+        let mut preempted = 0;
+        for _ in 0..2_000 {
+            if server.is_idle() {
+                break;
+            }
+            let report = server.step();
+            preempted += report.preempted;
+            assert!(server.pool().blocks_in_use() <= capacity);
+        }
+        assert!(server.is_idle(), "scheduler failed to drain");
+        assert_eq!(server.completions().len(), 2, "{:?}", server.failures());
+        assert!(server.failures().is_empty());
+        assert_eq!(server.stats().preemptions, preempted);
+        assert!(
+            preempted > 0,
+            "the scenario must actually exercise preemption"
+        );
+        // Every output still matches a solo engine run — the preempted request
+        // was recomputed from scratch, token-identically.
+        for (c, gen) in [(0u64, 24usize), (1, 4)] {
+            let mut engine = InferenceEngine::new(
+                &model,
+                PolicySpec::keyformer_default().build().unwrap(),
+                Some(budget),
+            );
+            let alone = engine
+                .try_generate(
+                    &prompt(if c == 0 { 16 } else { 24 }, c as u32),
+                    &GenerationConfig::new(gen),
+                )
+                .unwrap();
+            let completion = server
+                .completions()
+                .iter()
+                .find(|done| done.id.raw() == c)
+                .unwrap();
+            assert_eq!(completion.output, alone, "request {c}");
+        }
     }
 
     #[test]
