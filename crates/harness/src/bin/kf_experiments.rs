@@ -14,13 +14,15 @@
 //! Running `serve_throughput` additionally writes `BENCH_serving.json` (requests
 //! per scheduler step and mean KV bytes per policy), running `paging` writes
 //! `BENCH_paging.json` (throughput, pool utilization and overshoot per block
-//! configuration), and running `prefix_sharing` writes `BENCH_prefix.json`
-//! (shared-system-prompt workload with sharing off vs. on) to the working
-//! directory, so CI can archive the serving trajectories as machine-readable
-//! data.
+//! configuration), running `prefix_sharing` writes `BENCH_prefix.json`
+//! (shared-system-prompt workload with sharing off vs. on), and running
+//! `streaming_latency` writes `BENCH_latency.json` (TTFT/inter-token-latency
+//! percentiles per policy under mixed-priority traffic with cancellations) to
+//! the working directory, so CI can archive the serving trajectories as
+//! machine-readable data.
 
 use keyformer_harness::report::Table;
-use keyformer_harness::{paging, prefix, serving};
+use keyformer_harness::{paging, prefix, serving, streaming};
 use keyformer_harness::{run_experiment, ExperimentId};
 use serde::Serialize;
 
@@ -30,6 +32,9 @@ const SERVING_JSON: &str = "BENCH_serving.json";
 const PAGING_JSON: &str = "BENCH_paging.json";
 /// File the prefix-sharing experiment's machine-readable summary is written to.
 const PREFIX_JSON: &str = "BENCH_prefix.json";
+/// File the streaming-latency experiment's machine-readable summary is written
+/// to.
+const LATENCY_JSON: &str = "BENCH_latency.json";
 
 /// Writes an experiment's machine-readable summary, exiting loudly on failure —
 /// a missing or stale JSON data point must not leave a previous run's file
@@ -63,6 +68,11 @@ fn run_with_artifacts(id: ExperimentId, samples: usize) -> Table {
         ExperimentId::PrefixSharing => {
             let (table, summaries) = prefix::prefix_sharing_report(samples);
             write_summary(PREFIX_JSON, &summaries);
+            table
+        }
+        ExperimentId::StreamingLatency => {
+            let (table, summaries) = streaming::streaming_latency_report(samples);
+            write_summary(LATENCY_JSON, &summaries);
             table
         }
         _ => run_experiment(id, samples),

@@ -20,6 +20,7 @@ pub mod prefix;
 pub mod registry;
 pub mod report;
 pub mod serving;
+pub mod streaming;
 
 pub use registry::{run_experiment, ExperimentId};
 pub use report::Table;

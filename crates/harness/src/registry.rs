@@ -2,7 +2,7 @@
 //! regenerate them.
 
 use crate::report::Table;
-use crate::{accuracy, analysis, paging, perf, prefix, serving};
+use crate::{accuracy, analysis, paging, perf, prefix, serving, streaming};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of one paper table or figure.
@@ -56,6 +56,10 @@ pub enum ExperimentId {
     /// length × fan-out) with sharing off vs. on at a fixed pool (not a paper
     /// artefact).
     PrefixSharing,
+    /// Streaming latency: TTFT and inter-token-latency percentiles per policy
+    /// under mixed-priority traffic with mid-flight cancellations, via the
+    /// event-driven engine (not a paper artefact).
+    StreamingLatency,
 }
 
 impl ExperimentId {
@@ -84,6 +88,7 @@ impl ExperimentId {
             ServeThroughput,
             Paging,
             PrefixSharing,
+            StreamingLatency,
         ]
     }
 
@@ -112,6 +117,7 @@ impl ExperimentId {
             "serve_throughput" => ServeThroughput,
             "paging" => Paging,
             "prefix_sharing" => PrefixSharing,
+            "streaming_latency" => StreamingLatency,
             _ => return None,
         })
     }
@@ -141,6 +147,7 @@ impl ExperimentId {
             ServeThroughput => "serve_throughput",
             Paging => "paging",
             PrefixSharing => "prefix_sharing",
+            StreamingLatency => "streaming_latency",
         }
     }
 }
@@ -178,6 +185,7 @@ pub fn run_experiment(id: ExperimentId, samples: usize) -> Table {
         ExperimentId::ServeThroughput => serving::serve_throughput(samples),
         ExperimentId::Paging => paging::paging(samples),
         ExperimentId::PrefixSharing => prefix::prefix_sharing(samples),
+        ExperimentId::StreamingLatency => streaming::streaming_latency(samples),
     }
 }
 
@@ -197,9 +205,9 @@ mod tests {
 
     #[test]
     fn all_lists_every_experiment() {
-        // 18 paper artefacts + the serving-throughput, paging and
-        // prefix-sharing experiments.
-        assert_eq!(ExperimentId::all().len(), 21);
+        // 18 paper artefacts + the serving-throughput, paging, prefix-sharing
+        // and streaming-latency experiments.
+        assert_eq!(ExperimentId::all().len(), 22);
     }
 
     #[test]

@@ -107,6 +107,11 @@ pub struct PrefillProgress {
 pub struct SessionStep {
     /// The token produced by this step.
     pub token: u32,
+    /// 0-based index of this token among the generated tokens of the current
+    /// request. A scheduler that replays a sequence deterministically (e.g.
+    /// after a preemption recompute) can compare this index against what it
+    /// already surfaced to a client and suppress duplicate deliveries.
+    pub index: usize,
     /// `true` when this was the final step (EOS or the generation length was
     /// reached); further [`Session::step`] calls will fail until a new
     /// [`Session::begin`].
@@ -771,6 +776,7 @@ impl<'m> Session<'m> {
             self.decode = Some(d);
             return Ok(SessionStep {
                 token: next,
+                index: step,
                 finished: true,
             });
         }
@@ -793,6 +799,7 @@ impl<'m> Session<'m> {
                 self.decode = Some(d);
                 Ok(SessionStep {
                     token: next,
+                    index: step,
                     finished: false,
                 })
             }
@@ -949,7 +956,9 @@ mod tests {
         stepwise.begin(&prompt(28), &config).unwrap();
         let mut tokens = Vec::new();
         while stepwise.is_decoding() {
-            tokens.push(stepwise.step().unwrap().token);
+            let produced = stepwise.step().unwrap();
+            assert_eq!(produced.index, tokens.len(), "step indices count up from 0");
+            tokens.push(produced.token);
         }
         let out = stepwise.take_output().unwrap();
         assert_eq!(out.generated, tokens);

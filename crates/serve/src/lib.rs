@@ -13,7 +13,20 @@
 //! any other sequence; chunked prefill spreads long prompts across scheduler
 //! steps and lets strict pools pause (rather than fail) a prefill that runs out
 //! of blocks. See `docs/SERVING.md` for queue semantics, block-pool sizing and
-//! the throughput/paging experiments.
+//! the throughput/paging/latency experiments.
+//!
+//! Two front ends drive the one scheduler:
+//!
+//! * [`Engine`] — the event-driven streaming API: [`Engine::submit`] returns a
+//!   [`RequestHandle`], every state transition emits a typed [`Event`]
+//!   (`Queued` → `PrefillStarted` → `FirstToken` → `Token`* → `Completed`,
+//!   with `Preempted`/`Resumed`/`Failed`/`Cancelled` along the way), requests
+//!   carry [`SubmitOptions`] priorities and deadlines, and [`Engine::cancel`]
+//!   retires work mid-flight. This is the API that makes time-to-first-token
+//!   and inter-token latency observable per token.
+//! * [`Server`] — the batch-oriented facade over [`Engine`]: submit, step to
+//!   idle, harvest [`Server::completions`]. Bit-identical to the pre-engine
+//!   scheduler, with event recording off.
 //!
 //! ```
 //! use keyformer_core::{CacheBudgetSpec, PolicySpec};
@@ -47,10 +60,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod request;
 pub mod server;
 
-pub use request::{Completion, FailedRequest, FailureReason, Request, RequestId, RequestOverrides};
-pub use server::{
-    AdmissionOrder, Server, ServerConfig, ServerStats, StepReport, DEFAULT_SERVE_BLOCK_SIZE,
+pub use engine::{
+    AdmissionOrder, Engine, EngineConfig, Event, EventKind, RequestHandle, ServerConfig,
+    ServerStats, StepReport, DEFAULT_SERVE_BLOCK_SIZE, PRIORITY_AGING_STEPS,
+    SPF_AGING_TOKENS_PER_STEP,
 };
+pub use request::{
+    Completion, FailedRequest, FailureReason, Request, RequestId, RequestOverrides, SubmitOptions,
+};
+pub use server::Server;

@@ -72,6 +72,45 @@ impl RequestOverrides {
     }
 }
 
+/// Scheduling options attached to one submission, orthogonal to the
+/// [`Request`] payload: how urgent the work is and how long the caller is
+/// willing to wait. See [`crate::Engine::submit_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SubmitOptions {
+    /// Scheduling priority; higher values are admitted (and keep their blocks
+    /// under preemption pressure) ahead of lower ones. Queued requests age:
+    /// every [`crate::PRIORITY_AGING_STEPS`] scheduler steps spent waiting
+    /// raise the *effective* priority by one level, so low-priority work can
+    /// be delayed but never starved. Defaults to 0.
+    pub priority: u8,
+    /// Deadline in scheduler steps, measured from submission: a request that
+    /// has not completed within this many steps is retired as
+    /// [`FailureReason::DeadlineExceeded`], wherever it is (queued, prefilling
+    /// or decoding), immediately releasing its blocks and reservations.
+    /// `None` (the default) never expires.
+    pub deadline_steps: Option<usize>,
+}
+
+impl SubmitOptions {
+    /// Default options: priority 0, no deadline.
+    pub fn new() -> Self {
+        SubmitOptions::default()
+    }
+
+    /// Sets the scheduling priority (higher = more urgent).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Retires the request as [`FailureReason::DeadlineExceeded`] unless it
+    /// completes within `steps` scheduler steps of submission.
+    pub fn with_deadline_steps(mut self, steps: usize) -> Self {
+        self.deadline_steps = Some(steps);
+        self
+    }
+}
+
 /// One generation request: a prompt plus its generation configuration and
 /// optional per-request policy/budget overrides.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -147,6 +186,15 @@ pub struct Completion {
     pub admitted_step: usize,
     /// Scheduler step at which the final token was produced.
     pub completed_step: usize,
+    /// Scheduler step at which the *first* token was surfaced (`None` only for
+    /// zero-token generations). A preempted-and-resumed request keeps the step
+    /// of the original surfacing — replayed tokens are not re-delivered.
+    pub first_token_step: Option<usize>,
+    /// Scheduler step at which each generated token was surfaced, in order.
+    /// Consecutive differences are the request's inter-token latencies; gaps
+    /// larger than 1 mark steps lost to queueing, chunked prefill of
+    /// neighbours, stalls or preemption.
+    pub token_steps: Vec<usize>,
     /// Prompt tokens served from shared prefix-cache blocks instead of being
     /// recomputed (0 without prefix sharing, or on a registry miss).
     pub prefix_tokens_reused: usize,
@@ -161,6 +209,46 @@ impl Completion {
     /// Steps spent waiting in the admission queue.
     pub fn queue_steps(&self) -> usize {
         self.admitted_step - self.submitted_step
+    }
+
+    /// Time-to-first-token in scheduler steps (submission to first surfaced
+    /// token); `None` for zero-token generations.
+    pub fn ttft_steps(&self) -> Option<usize> {
+        Some(self.first_token_step? - self.submitted_step)
+    }
+
+    /// Inter-token latencies in scheduler steps: the gap between each pair of
+    /// consecutive surfaced tokens (empty for fewer than two tokens).
+    pub fn inter_token_steps(&self) -> Vec<usize> {
+        self.token_steps.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Mean inter-token latency in scheduler steps (0.0 for fewer than two
+    /// tokens).
+    pub fn mean_inter_token_steps(&self) -> f64 {
+        let gaps = self.inter_token_steps();
+        if gaps.is_empty() {
+            0.0
+        } else {
+            gaps.iter().sum::<usize>() as f64 / gaps.len() as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Completion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} tokens in {} steps (queued {}, ttft {})",
+            self.id,
+            self.output.generated.len(),
+            self.latency_steps(),
+            self.queue_steps(),
+            match self.ttft_steps() {
+                Some(t) => t.to_string(),
+                None => "-".into(),
+            }
+        )
     }
 }
 
@@ -189,6 +277,16 @@ pub enum FailureReason {
     /// Prefill or decode returned an error (bad prompt, policy-contract
     /// violation, ...).
     Engine(CoreError),
+    /// The caller cancelled the request ([`crate::Engine::cancel`]) before it
+    /// completed.
+    Cancelled,
+    /// The request did not complete within its
+    /// [`SubmitOptions::deadline_steps`] budget and was retired by the
+    /// scheduler.
+    DeadlineExceeded {
+        /// The deadline the request was submitted with, in scheduler steps.
+        deadline_steps: usize,
+    },
 }
 
 impl std::fmt::Display for FailureReason {
@@ -202,7 +300,21 @@ impl std::fmt::Display for FailureReason {
                 "projected {projected_bytes} KV bytes exceed the {pool_bytes}-byte pool"
             ),
             FailureReason::Engine(e) => write!(f, "engine error: {e}"),
+            FailureReason::Cancelled => write!(f, "cancelled by the caller"),
+            FailureReason::DeadlineExceeded { deadline_steps } => {
+                write!(f, "deadline of {deadline_steps} scheduler steps exceeded")
+            }
         }
+    }
+}
+
+impl std::fmt::Display for FailedRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} failed at step {}: {}",
+            self.id, self.step, self.reason
+        )
     }
 }
 
@@ -222,7 +334,7 @@ mod tests {
         let c = Completion {
             id: RequestId::new(0),
             output: GenerationOutput {
-                generated: vec![1],
+                generated: vec![1, 2, 3],
                 prompt_len: 4,
                 final_cache_slots: vec![4],
                 final_cache_bytes: 64,
@@ -231,10 +343,53 @@ mod tests {
             submitted_step: 2,
             admitted_step: 5,
             completed_step: 9,
+            first_token_step: Some(5),
+            token_steps: vec![5, 6, 9],
             prefix_tokens_reused: 0,
         };
         assert_eq!(c.latency_steps(), 7);
         assert_eq!(c.queue_steps(), 3);
+        assert_eq!(c.ttft_steps(), Some(3));
+        assert_eq!(c.inter_token_steps(), vec![1, 3]);
+        assert!((c.mean_inter_token_steps() - 2.0).abs() < 1e-12);
+        assert!(c.to_string().contains("ttft 3"), "{c}");
+    }
+
+    #[test]
+    fn zero_token_completion_has_no_first_token() {
+        let c = Completion {
+            id: RequestId::new(1),
+            output: GenerationOutput {
+                generated: vec![],
+                prompt_len: 4,
+                final_cache_slots: vec![4],
+                final_cache_bytes: 64,
+                peak_cache_bytes: 64,
+            },
+            submitted_step: 0,
+            admitted_step: 1,
+            completed_step: 1,
+            first_token_step: None,
+            token_steps: vec![],
+            prefix_tokens_reused: 0,
+        };
+        assert_eq!(c.ttft_steps(), None);
+        assert!(c.inter_token_steps().is_empty());
+        assert_eq!(c.mean_inter_token_steps(), 0.0);
+        assert!(c.to_string().contains("ttft -"), "{c}");
+    }
+
+    #[test]
+    fn submit_options_build_and_default() {
+        let plain = SubmitOptions::new();
+        assert_eq!(plain, SubmitOptions::default());
+        assert_eq!(plain.priority, 0);
+        assert_eq!(plain.deadline_steps, None);
+        let tuned = SubmitOptions::new()
+            .with_priority(3)
+            .with_deadline_steps(40);
+        assert_eq!(tuned.priority, 3);
+        assert_eq!(tuned.deadline_steps, Some(40));
     }
 
     #[test]
@@ -291,5 +446,15 @@ mod tests {
         assert!(too_large.to_string().contains("exceed"));
         let engine = FailureReason::Engine(CoreError::InvalidConfig("boom".into()));
         assert!(engine.to_string().contains("boom"));
+        assert!(FailureReason::Cancelled.to_string().contains("cancelled"));
+        let expired = FailureReason::DeadlineExceeded { deadline_steps: 12 };
+        assert!(expired.to_string().contains("12"), "{expired}");
+        let failed = FailedRequest {
+            id: RequestId::new(9),
+            reason: FailureReason::Cancelled,
+            step: 4,
+        };
+        assert!(failed.to_string().contains("req-9"), "{failed}");
+        assert!(failed.to_string().contains("step 4"), "{failed}");
     }
 }

@@ -1,389 +1,67 @@
-//! The continuous-batching scheduler over a paged KV block pool.
+//! The batch-oriented compatibility facade over the event-driven [`Engine`].
 //!
-//! [`Server`] owns a FIFO admission queue, a shared
-//! [`SharedBlockPool`] sized from [`ServerConfig::pool_bytes`], and a set of
-//! running [`Session`]s that all decode against one shared [`TransformerModel`]
-//! and all allocate their KV blocks from that one pool. Scheduling is
-//! iteration-level (Orca-style): every call to [`Server::step`] is one *batched
-//! decode iteration* —
+//! [`Server`] is the pre-engine serving API: a FIFO (or
+//! shortest-prefill-first) admission queue, block-reservation admission
+//! against a shared paged pool, chunked prefill, copy-on-write prefix sharing
+//! and preemption under pressure — all documented in detail on [`Engine`],
+//! which owns the single scheduling implementation. Under the default
+//! [`crate::AdmissionOrder::Fifo`] the facade schedules **bit-identically**
+//! to the pre-engine scheduler (every submission carries the default
+//! priority, and priority aging never reorders a single-level queue; the
+//! serving/paging/prefix BENCH artefacts regenerate byte-for-byte).
+//! [`crate::AdmissionOrder::ShortestPrefillFirst`] now *ages* — each queued
+//! step shrinks a request's effective remaining-prefill key — an intentional
+//! anti-starvation change from the earlier SPF behaviour. The facade differs
+//! from the engine only in its interaction model:
 //!
-//! 1. **Prefill continuation.** In-flight chunked prefills advance by one chunk
-//!    each (oldest first), up to [`ServerConfig::prefills_per_step`] chunk
-//!    executions per step. A prefill that a strict pool has starved of blocks
-//!    pauses (consuming no budget) and resumes once eviction or retirement
-//!    frees blocks.
-//! 2. **Admission.** Requests are popped from the queue head while the pool can
-//!    *reserve* their steady-state block count
-//!    ([`Server::reserved_blocks_for`]). Admission is strictly FIFO: a head
-//!    whose reservation does not fit blocks the queue (no reordering), which
-//!    keeps completion order deterministic and starvation-free. A request whose
-//!    reservation can never fit is retired as
-//!    [`FailureReason::TooLargeForPool`]. Per-request policy/budget overrides
-//!    (validated at submit time) are resolved here.
-//! 3. **Decode.** Every running session past its prefill advances by exactly
-//!    one token, in admission order. Finished sessions are retired into
-//!    [`Completion`]s; failing sessions are retired into [`FailedRequest`]s —
-//!    the scheduler never panics on a bad request. Retirement returns both the
-//!    reservation and the physical blocks to the pool in the same step.
+//! * [`Server::submit`] returns `()` instead of a [`crate::RequestHandle`] —
+//!   results are harvested retrospectively from [`Server::completions`] after
+//!   the [`Server::step`] loop, exactly as before;
+//! * event recording is disabled ([`Engine::record_events`]), so driving a
+//!   server for millions of steps without draining anything never grows a
+//!   buffer.
+//!
+//! New code that wants streaming per-token [`crate::Event`]s, mid-flight
+//! [`Engine::cancel`], [`crate::SubmitOptions`] priorities or deadlines
+//! should use [`Engine`] directly (`docs/SERVING.md` has a migration note);
+//! [`Server::engine`]/[`Server::engine_mut`]/[`Server::into_engine`] expose
+//! the wrapped engine for incremental migration.
 //!
 //! The admission *reservation* of a request is its steady-state decode
 //! footprint in blocks: with a [`CacheBudgetSpec`], the per-layer capacity
 //! derived from the prompt length; without one, the full
-//! `prompt + max_new_tokens` slots — each rounded up to whole blocks per layer.
-//! Prefill transiently exceeds the steady state for budgeted policies (the
-//! cache fills to the whole prompt before the end-of-prompt eviction), exactly
-//! as in the paper. Under the default [`OvercommitPolicy::AllowTransient`]
-//! discipline that spike is absorbed and *measured*
-//! ([`BlockPoolStats::peak_overshoot`]); with [`ServerConfig::with_strict_pool`]
-//! it is *enforced* — allocations past the pool hard-stop, chunked prefill
-//! pauses, and in-use blocks provably never exceed the pool (see
-//! `docs/SERVING.md`).
+//! `prompt + max_new_tokens` slots — each rounded up to whole blocks per
+//! layer. Prefill transiently exceeds the steady state for budgeted policies
+//! (the cache fills to the whole prompt before the end-of-prompt eviction),
+//! exactly as in the paper. Under the default
+//! [`OvercommitPolicy::AllowTransient`] discipline that spike is absorbed and
+//! *measured* ([`BlockPoolStats::peak_overshoot`]); with
+//! [`ServerConfig::with_strict_pool`] it is *enforced* — allocations past the
+//! pool hard-stop, chunked prefill pauses, and in-use blocks provably never
+//! exceed the pool (see `docs/SERVING.md`).
 //!
 //! This is what turns Keyformer's reduced KV footprint into throughput: at a
 //! fixed pool, a 50% budget reserves roughly half the blocks per sequence, so
-//! the same pool runs roughly twice the batch — and blocks freed by an eviction
-//! are instantly reusable by any other sequence instead of being stranded in a
-//! contiguous per-sequence buffer.
+//! the same pool runs roughly twice the batch — and blocks freed by an
+//! eviction are instantly reusable by any other sequence instead of being
+//! stranded in a contiguous per-sequence buffer.
+//!
+//! [`CacheBudgetSpec`]: keyformer_core::budget::CacheBudgetSpec
+//! [`OvercommitPolicy::AllowTransient`]: keyformer_core::block::OvercommitPolicy::AllowTransient
+//! [`BlockPoolStats::peak_overshoot`]: keyformer_core::block::BlockPoolStats::peak_overshoot
 
-use crate::request::{Completion, FailedRequest, FailureReason, Request, RequestId};
-use keyformer_core::block::{
-    blocks_for_slots, BlockId, BlockPoolStats, OvercommitPolicy, SharedBlockPool,
-};
-use keyformer_core::budget::CacheBudgetSpec;
-use keyformer_core::prefix::{policy_context, PrefixRegistryStats, SharedPrefixRegistry};
-use keyformer_core::spec::PolicySpec;
+use crate::engine::{Engine, ServerConfig, ServerStats, StepReport};
+use crate::request::{Completion, FailedRequest, Request, RequestId};
+use keyformer_core::block::{BlockPoolStats, SharedBlockPool};
+use keyformer_core::prefix::{PrefixRegistryStats, SharedPrefixRegistry};
 use keyformer_core::CoreError;
 use keyformer_model::model::TransformerModel;
-use keyformer_model::session::Session;
-use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
-/// Default token slots per block used by the serving layer.
-///
-/// Smaller than the core default so that admission quantisation stays tight at
-/// the pool sizes the experiments use: each sequence wastes at most
-/// `block_size - 1` slots per layer to internal fragmentation.
-pub const DEFAULT_SERVE_BLOCK_SIZE: usize = 8;
-
-/// Consecutive zero-progress stalled steps after which a starved prefill
-/// triggers preemption of the youngest running session (registry pins are
-/// reclaimed one step earlier).
-const PREEMPT_AFTER_STALLS: usize = 2;
-
-/// In which order queued requests are considered for admission.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
-pub enum AdmissionOrder {
-    /// Strict first-in-first-out (the default): the head blocks the queue
-    /// until its reservation fits, keeping completion order deterministic and
-    /// starvation-free.
-    #[default]
-    Fifo,
-    /// Latency-aware: admit the queued request with the fewest prompt tokens
-    /// left to prefill — prompt length minus whatever a prefix-cache hit would
-    /// reuse — tie-broken by submission order. Short interactive requests
-    /// overtake long ones at admission (running sessions are never reordered);
-    /// a steady stream of short prompts can starve a long one, which is the
-    /// knob's documented trade-off.
-    ShortestPrefillFirst,
-}
-
-/// Static configuration of a [`Server`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ServerConfig {
-    /// Cache policy every admitted session runs (unless a request overrides it).
-    pub policy: PolicySpec,
-    /// Relative KV budget applied per session (`None` = never evict), unless a
-    /// request overrides it.
-    pub budget: Option<CacheBudgetSpec>,
-    /// KV-byte pool shared by all running sessions; converted to a block pool
-    /// of `pool_bytes / (block_size * per-layer slot bytes)` blocks.
-    pub pool_bytes: usize,
-    /// Hard cap on concurrently running sessions (defaults to unlimited).
-    pub max_concurrency: usize,
-    /// Prefill work units (whole prompts, or chunks when chunked) executed per
-    /// scheduler step (defaults to 1). Zero is rejected by
-    /// [`ServerConfig::validate`].
-    pub prefills_per_step: usize,
-    /// Token slots per block (defaults to [`DEFAULT_SERVE_BLOCK_SIZE`]).
-    pub block_size: usize,
-    /// Prompt tokens forwarded per prefill work unit. `None` (the default) runs
-    /// each prompt one-shot inside its admission step; `Some(n)` spreads it
-    /// over `ceil(prompt_len / n)` steps, resumable mid-prompt.
-    pub prefill_chunk: Option<usize>,
-    /// When `true`, the block pool hard-enforces its capacity: allocations past
-    /// it fail and chunked prefills pause instead. Requires `prefill_chunk`.
-    pub strict_pool: bool,
-    /// When `true`, the server keeps a [`SharedPrefixRegistry`] over the pool:
-    /// prompt blocks are registered as prefills run, admissions attach to the
-    /// longest cached prefix of their prompt (skipping those prefill chunks and
-    /// reporting [`Completion::prefix_tokens_reused`]), and admission reserves
-    /// only the non-shared suffix blocks of unbudgeted requests on
-    /// non-strict pools. Defaults to `false`, which reproduces the
-    /// sharing-free scheduler bit for bit.
-    pub prefix_sharing: bool,
-    /// Order in which queued requests are admitted (default FIFO).
-    pub admission_order: AdmissionOrder,
-}
-
-impl ServerConfig {
-    /// A configuration with the given policy, per-session budget and byte pool,
-    /// unlimited concurrency, one prefill per step, the default block size and
-    /// one-shot prefill.
-    pub fn new(policy: PolicySpec, budget: Option<CacheBudgetSpec>, pool_bytes: usize) -> Self {
-        ServerConfig {
-            policy,
-            budget,
-            pool_bytes,
-            max_concurrency: usize::MAX,
-            prefills_per_step: 1,
-            block_size: DEFAULT_SERVE_BLOCK_SIZE,
-            prefill_chunk: None,
-            strict_pool: false,
-            prefix_sharing: false,
-            admission_order: AdmissionOrder::Fifo,
-        }
-    }
-
-    /// Caps the number of concurrently running sessions.
-    pub fn with_max_concurrency(mut self, max: usize) -> Self {
-        self.max_concurrency = max.max(1);
-        self
-    }
-
-    /// Sets how many prefill work units may run per scheduler step. Zero is
-    /// not clamped — it fails [`ServerConfig::validate`].
-    pub fn with_prefills_per_step(mut self, prefills: usize) -> Self {
-        self.prefills_per_step = prefills;
-        self
-    }
-
-    /// Sets the token slots per block.
-    pub fn with_block_size(mut self, block_size: usize) -> Self {
-        self.block_size = block_size;
-        self
-    }
-
-    /// Enables chunked prefill at `chunk` prompt tokens per scheduler step.
-    pub fn with_prefill_chunk(mut self, chunk: usize) -> Self {
-        self.prefill_chunk = Some(chunk);
-        self
-    }
-
-    /// Switches the pool's capacity discipline; see [`ServerConfig::strict_pool`].
-    pub fn with_strict_pool(mut self, strict: bool) -> Self {
-        self.strict_pool = strict;
-        self
-    }
-
-    /// Enables or disables prefix sharing; see [`ServerConfig::prefix_sharing`].
-    pub fn with_prefix_sharing(mut self, sharing: bool) -> Self {
-        self.prefix_sharing = sharing;
-        self
-    }
-
-    /// Sets the admission order; see [`AdmissionOrder`].
-    pub fn with_admission_order(mut self, order: AdmissionOrder) -> Self {
-        self.admission_order = order;
-        self
-    }
-
-    /// Validates the configuration.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::InvalidConfig`] if the pool is empty, the block
-    /// size or prefill chunk is zero, `prefills_per_step` is zero, a strict
-    /// pool lacks chunked prefill, or the policy spec itself does not build.
-    pub fn validate(&self) -> Result<(), CoreError> {
-        if self.pool_bytes == 0 {
-            return Err(CoreError::InvalidConfig(
-                "serving pool must be at least 1 byte".into(),
-            ));
-        }
-        if self.block_size == 0 {
-            return Err(CoreError::InvalidConfig(
-                "block size must be at least 1 token slot".into(),
-            ));
-        }
-        if self.prefills_per_step == 0 {
-            return Err(CoreError::InvalidConfig(
-                "prefills_per_step must be at least 1; a zero-prefill server could never \
-                 admit a request"
-                    .into(),
-            ));
-        }
-        if self.prefill_chunk == Some(0) {
-            return Err(CoreError::InvalidConfig(
-                "prefill chunk must be at least 1 token".into(),
-            ));
-        }
-        if self.strict_pool && self.prefill_chunk.is_none() {
-            return Err(CoreError::InvalidConfig(
-                "a strict pool requires chunked prefill, so prefills pause instead of \
-                 failing when the pool runs dry"
-                    .into(),
-            ));
-        }
-        self.policy.build().map(|_| ())
-    }
-}
-
-struct Pending {
-    request: Request,
-    submitted_step: usize,
-}
-
-struct Running<'m> {
-    /// The original request, kept whole so preemption can re-queue it.
-    request: Request,
-    session: Session<'m>,
-    /// Blocks reserved against the pool at admission, returned at retirement.
-    reserved_blocks: usize,
-    submitted_step: usize,
-    admitted_step: usize,
-    /// Consecutive steps this session's prefill stalled with zero progress.
-    stall_streak: usize,
-}
-
-impl Running<'_> {
-    fn id(&self) -> RequestId {
-        self.request.id
-    }
-}
-
-/// Aggregate counters of one server's lifetime, used by the throughput and
-/// paging experiments and the serving bench.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
-pub struct ServerStats {
-    /// Scheduler steps executed.
-    pub steps: usize,
-    /// Token-level decode steps executed (sum of batch sizes over steps).
-    pub decode_steps: usize,
-    /// Prefills completed (one per admitted request, however many chunks).
-    pub prefills: usize,
-    /// Prefill work units executed (chunk advances; equals `prefills` for
-    /// one-shot prefill).
-    pub prefill_chunks: usize,
-    /// Times a chunked prefill paused because a strict pool had no block.
-    pub prefill_stalls: usize,
-    /// Sum over steps of the live KV bytes at the end of the step (for means).
-    pub live_kv_byte_steps: u64,
-    /// Largest live KV byte footprint observed at the end of any step.
-    pub peak_live_kv_bytes: usize,
-    /// Largest number of concurrently running sessions observed.
-    pub peak_concurrency: usize,
-    /// Sum over steps of live (occupied) token slots at the end of the step.
-    pub live_slot_steps: u64,
-    /// Sum over steps of slots covered by allocated blocks at the end of the
-    /// step. With `live_slot_steps`, this yields the pool-utilization metric
-    /// the paging experiment reports.
-    pub allocated_slot_steps: u64,
-    /// Running sessions swapped out (blocks released, request re-queued)
-    /// because a starved prefill could not otherwise make progress.
-    pub preemptions: usize,
-    /// Prompt tokens served from shared prefix-cache blocks, summed over
-    /// admissions (including re-admissions after preemption).
-    pub prefix_tokens_reused: u64,
-}
-
-impl ServerStats {
-    /// Mean live KV bytes at the end of a scheduler step.
-    pub fn mean_live_kv_bytes(&self) -> f64 {
-        if self.steps == 0 {
-            0.0
-        } else {
-            self.live_kv_byte_steps as f64 / self.steps as f64
-        }
-    }
-
-    /// Mean decode batch size (token steps per scheduler step).
-    pub fn mean_batch_size(&self) -> f64 {
-        if self.steps == 0 {
-            0.0
-        } else {
-            self.decode_steps as f64 / self.steps as f64
-        }
-    }
-
-    /// Mean fraction of allocated block slots actually holding live tokens —
-    /// 1.0 minus internal fragmentation. Measured at end-of-step, i.e. at
-    /// steady state (after evictions and retirements of the step).
-    pub fn mean_pool_utilization(&self) -> f64 {
-        if self.allocated_slot_steps == 0 {
-            0.0
-        } else {
-            self.live_slot_steps as f64 / self.allocated_slot_steps as f64
-        }
-    }
-}
-
-/// What one [`Server::step`] did, with an end-of-step snapshot of the memory
-/// state: pool accounting (including shared-block counts), occupancy-level
-/// fragmentation, and the prefix registry's counters when sharing is on.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct StepReport {
-    /// 1-based index of the step this report describes.
-    pub step: usize,
-    /// Token-level decode steps executed (the old `step()` return value).
-    pub decode_steps: usize,
-    /// Prefill work units (chunks or whole prompts) executed.
-    pub prefill_chunks: usize,
-    /// Requests admitted into running sessions.
-    pub admitted: usize,
-    /// Requests retired into completions.
-    pub completed: usize,
-    /// Requests retired as failures.
-    pub failed: usize,
-    /// Running sessions swapped out under pool pressure.
-    pub preempted: usize,
-    /// Live token slots in physical blocks at end of step — shared blocks
-    /// counted once, registry-pinned blocks included (see
-    /// [`Server::physical_live_slots`]).
-    pub live_slots: usize,
-    /// Token slots covered by allocated blocks at end of step.
-    pub allocated_slots: usize,
-    /// Pool accounting snapshot (in-use/reserved/peaks/churn/shared blocks).
-    pub pool: BlockPoolStats,
-    /// Prefix-registry counters (`None` unless
-    /// [`ServerConfig::prefix_sharing`] is on).
-    pub registry: Option<PrefixRegistryStats>,
-}
-
-impl StepReport {
-    /// Live slots over allocated slots at end of step (1.0 for an empty pool).
-    pub fn utilization(&self) -> f64 {
-        if self.allocated_slots == 0 {
-            1.0
-        } else {
-            self.live_slots as f64 / self.allocated_slots as f64
-        }
-    }
-
-    /// Fraction of allocated slots holding no live token — the pool's internal
-    /// fragmentation right now.
-    pub fn fragmentation(&self) -> f64 {
-        1.0 - self.utilization()
-    }
-}
-
-/// A continuous-batching server over one shared model and one shared block pool.
+/// A continuous-batching server over one shared model and one shared block
+/// pool: the batch-oriented facade over [`Engine`] (see the [module
+/// docs](self)).
 pub struct Server<'m> {
-    model: &'m TransformerModel,
-    config: ServerConfig,
-    bytes_per_token: usize,
-    /// Bytes one block (of one layer) occupies.
-    bytes_per_block: usize,
-    total_blocks: usize,
-    num_layers: usize,
-    pool: SharedBlockPool,
-    /// Prefix registry over `pool` (`Some` iff `config.prefix_sharing`).
-    registry: Option<SharedPrefixRegistry>,
-    queue: VecDeque<Pending>,
-    running: Vec<Running<'m>>,
-    completed: Vec<Completion>,
-    failed: Vec<FailedRequest>,
-    step: usize,
-    stats: ServerStats,
+    engine: Engine<'m>,
 }
 
 impl<'m> Server<'m> {
@@ -394,245 +72,160 @@ impl<'m> Server<'m> {
     /// Returns [`CoreError::InvalidConfig`] if the configuration is invalid or
     /// the byte pool is smaller than a single block.
     pub fn new(model: &'m TransformerModel, config: ServerConfig) -> Result<Self, CoreError> {
-        config.validate()?;
-        let cache = model.empty_cache();
-        let bytes_per_token = cache.bytes_per_token();
-        let num_layers = cache.num_layers();
-        let bytes_per_layer_slot = cache.layer(0).bytes_per_slot();
-        let bytes_per_block = config.block_size * bytes_per_layer_slot;
-        let total_blocks = config.pool_bytes / bytes_per_block;
-        if total_blocks == 0 {
-            return Err(CoreError::InvalidConfig(format!(
-                "pool of {} bytes is smaller than one {}-slot block ({} bytes)",
-                config.pool_bytes, config.block_size, bytes_per_block
-            )));
-        }
-        let overcommit = if config.strict_pool {
-            OvercommitPolicy::Strict
-        } else {
-            OvercommitPolicy::AllowTransient
-        };
-        let pool = SharedBlockPool::bounded(config.block_size, total_blocks, overcommit)?;
-        let registry = config
-            .prefix_sharing
-            .then(|| SharedPrefixRegistry::new(&pool));
-        Ok(Server {
-            model,
-            config,
-            bytes_per_token,
-            bytes_per_block,
-            total_blocks,
-            num_layers,
-            pool,
-            registry,
-            queue: VecDeque::new(),
-            running: Vec::new(),
-            completed: Vec::new(),
-            failed: Vec::new(),
-            step: 0,
-            stats: ServerStats::default(),
-        })
+        let mut engine = Engine::new(model, config)?;
+        // Batch drivers harvest completions(); nothing drains events, so
+        // recording them would grow an unbounded buffer.
+        engine.record_events(false);
+        Ok(Server { engine })
+    }
+
+    /// The wrapped [`Engine`] (read-only).
+    pub fn engine(&self) -> &Engine<'m> {
+        &self.engine
+    }
+
+    /// The wrapped [`Engine`], mutably — e.g. to re-enable event recording or
+    /// cancel a request from code that otherwise drives the batch API.
+    pub fn engine_mut(&mut self) -> &mut Engine<'m> {
+        &mut self.engine
+    }
+
+    /// Unwraps the facade into the [`Engine`] it drives (event recording
+    /// stays off until [`Engine::record_events`] re-enables it).
+    pub fn into_engine(self) -> Engine<'m> {
+        self.engine
     }
 
     /// The scheduling configuration.
     pub fn config(&self) -> &ServerConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// Bytes one cached token occupies across the model's layers.
     pub fn bytes_per_token(&self) -> usize {
-        self.bytes_per_token
+        self.engine.bytes_per_token()
     }
 
     /// Bytes one block (of one layer) occupies.
     pub fn bytes_per_block(&self) -> usize {
-        self.bytes_per_block
+        self.engine.bytes_per_block()
     }
 
     /// The block capacity the byte pool converts to.
     pub fn total_blocks(&self) -> usize {
-        self.total_blocks
+        self.engine.total_blocks()
     }
 
     /// The shared block pool every running session allocates from.
     pub fn pool(&self) -> &SharedBlockPool {
-        &self.pool
+        self.engine.pool()
     }
 
     /// Snapshot of the pool's allocator accounting.
     pub fn pool_stats(&self) -> BlockPoolStats {
-        self.pool.stats()
+        self.engine.pool_stats()
     }
 
     /// The prefix registry, when [`ServerConfig::prefix_sharing`] is enabled.
     pub fn prefix_registry(&self) -> Option<&SharedPrefixRegistry> {
-        self.registry.as_ref()
+        self.engine.prefix_registry()
     }
 
     /// The registry's counters, when prefix sharing is enabled.
     pub fn registry_stats(&self) -> Option<PrefixRegistryStats> {
-        self.registry.as_ref().map(SharedPrefixRegistry::stats)
+        self.engine.registry_stats()
     }
 
     /// Prompt tokens of `request` a prefix-cache attach would reuse right now
     /// (full blocks only, and never the final prompt token). 0 without prefix
     /// sharing.
     pub fn reusable_prefix_tokens(&self, request: &Request) -> usize {
-        let Some(registry) = &self.registry else {
-            return 0;
-        };
-        if request.prompt.len() <= 1 {
-            return 0;
-        }
-        let bs = self.config.block_size;
-        let cap = (request.prompt.len() - 1) / bs * bs;
-        let context = policy_context(&request.effective_policy(self.config.policy));
-        registry.match_tokens(context, &request.prompt[..cap])
+        self.engine.reusable_prefix_tokens(request)
     }
 
     /// Prompt tokens `request` would still have to forward at admission, after
-    /// any prefix-cache reuse — the quantity
-    /// [`AdmissionOrder::ShortestPrefillFirst`] orders by.
+    /// any prefix-cache reuse.
     pub fn remaining_prefill_tokens(&self, request: &Request) -> usize {
-        request.prompt.len() - self.reusable_prefix_tokens(request)
-    }
-
-    /// Per-layer steady-state slot count of `request` under its effective
-    /// budget: the capacity a running decode settles at after the end-of-prompt
-    /// eviction, or the full sequence when unbudgeted.
-    fn steady_state_slots(&self, request: &Request) -> usize {
-        match request.effective_budget(self.config.budget) {
-            Some(spec) => {
-                let capacity = spec.for_prompt_len(request.prompt.len()).capacity();
-                if self.config.strict_pool {
-                    // Each decode step transiently holds capacity + 1 slots
-                    // between the append and the eviction; a strict pool must
-                    // reserve that slot, an overcommitting pool absorbs it.
-                    capacity + 1
-                } else {
-                    capacity
-                }
-            }
-            // Unbudgeted caches grow to the full sequence (the final generated
-            // token is never fed back, hence the saturating decrement).
-            None => request.prompt.len() + request.config.max_new_tokens.saturating_sub(1),
-        }
+        self.engine.remaining_prefill_tokens(request)
     }
 
     /// Blocks reserved for `request` at admission: its steady-state slots
     /// rounded up to whole blocks, per layer.
     pub fn reserved_blocks_for(&self, request: &Request) -> usize {
-        self.num_layers * blocks_for_slots(self.steady_state_slots(request), self.config.block_size)
+        self.engine.reserved_blocks_for(request)
     }
 
-    /// Worst-case blocks `request` ever holds, including the prefill transient
-    /// (the whole prompt is live just before the end-of-prompt eviction).
+    /// Worst-case blocks `request` ever holds, including the prefill
+    /// transient.
     pub fn peak_blocks_for(&self, request: &Request) -> usize {
-        let peak_slots = self.steady_state_slots(request).max(request.prompt.len());
-        self.num_layers * blocks_for_slots(peak_slots, self.config.block_size)
+        self.engine.peak_blocks_for(request)
     }
 
-    /// Blocks admission actually reserves for `request`: the steady-state
-    /// count, minus — for *unbudgeted* requests on a *non-strict* pool — the
-    /// full blocks a prefix-cache attach will serve from shared storage.
-    /// Unbudgeted sequences never write into attached blocks (appends only
-    /// ever touch blocks past the attached prefix), so those blocks stay
-    /// shared for the request's whole life and are already allocated.
-    /// Budgeted requests keep their full reservation: the end-of-prompt
-    /// eviction compacts *inside* the prefix, CoW-forking it into private
-    /// blocks that the reservation must cover. Strict pools also keep the full
-    /// reservation, because their no-overshoot guarantee is proven against
-    /// reservations covering every private block a session can hold.
+    /// Blocks admission actually reserves for `request`; see
+    /// [`Engine::admission_reservation`].
     pub fn admission_reservation(&self, request: &Request) -> usize {
-        let full = self.reserved_blocks_for(request);
-        if self.config.strict_pool || request.effective_budget(self.config.budget).is_some() {
-            return full;
-        }
-        let shared_blocks =
-            self.num_layers * (self.reusable_prefix_tokens(request) / self.config.block_size);
-        full.saturating_sub(shared_blocks)
+        self.engine.admission_reservation(request)
     }
 
-    /// Steady-state byte reservation of `request` at block granularity — the
-    /// quantity admission holds below the pool.
+    /// Steady-state byte reservation of `request` at block granularity.
     pub fn projected_kv_bytes(&self, request: &Request) -> usize {
-        self.reserved_blocks_for(request) * self.bytes_per_block
+        self.engine.projected_kv_bytes(request)
     }
 
     /// Bytes currently reserved by admitted requests, at block granularity.
     pub fn reserved_bytes(&self) -> usize {
-        self.pool.blocks_reserved() * self.bytes_per_block
+        self.engine.reserved_bytes()
     }
 
     /// Actual live KV bytes across running sessions right now.
     pub fn live_kv_bytes(&self) -> usize {
-        self.running.iter().map(|r| r.session.cache_bytes()).sum()
+        self.engine.live_kv_bytes()
     }
 
-    /// Live token slots in *physical* blocks right now: every block counted
-    /// once however many sessions map it (CoW sharing would otherwise inflate
-    /// a per-session sum past the allocated total), plus the registry's pinned
-    /// blocks, which hold a full block of valid cached rows each. This is the
-    /// numerator of the pool-utilization metric.
+    /// Live token slots in *physical* blocks right now; see
+    /// [`Engine::physical_live_slots`].
     pub fn physical_live_slots(&self) -> usize {
-        let mut seen: std::collections::HashSet<BlockId> = std::collections::HashSet::new();
-        let mut live = 0;
-        for r in &self.running {
-            for layer in r.session.cache().iter() {
-                for (id, rows) in layer.block_rows() {
-                    if seen.insert(id) {
-                        live += rows;
-                    }
-                }
-            }
-        }
-        if let Some(registry) = &self.registry {
-            for id in registry.pinned_block_ids() {
-                if seen.insert(id) {
-                    live += self.config.block_size;
-                }
-            }
-        }
-        live
+        self.engine.physical_live_slots()
     }
 
     /// Number of requests waiting in the admission queue.
     pub fn queued(&self) -> usize {
-        self.queue.len()
+        self.engine.queued()
     }
 
     /// Number of running sessions.
     pub fn running(&self) -> usize {
-        self.running.len()
+        self.engine.running()
     }
 
     /// `true` once no work remains (queue empty, nothing running).
     pub fn is_idle(&self) -> bool {
-        self.queue.is_empty() && self.running.is_empty()
+        self.engine.is_idle()
     }
 
     /// Scheduler steps executed so far.
     pub fn steps(&self) -> usize {
-        self.step
+        self.engine.steps()
     }
 
     /// Lifetime counters.
     pub fn stats(&self) -> &ServerStats {
-        &self.stats
+        self.engine.stats()
     }
 
     /// Completed requests, in completion order.
     pub fn completions(&self) -> &[Completion] {
-        &self.completed
+        self.engine.completions()
     }
 
     /// Requests retired without completing, in retirement order.
     pub fn failures(&self) -> &[FailedRequest] {
-        &self.failed
+        self.engine.failures()
     }
 
     /// Enqueues a request, validating its per-request overrides. Requests are
-    /// admitted in submission (FIFO) order.
+    /// admitted in submission (FIFO) order under the default
+    /// [`crate::AdmissionOrder`].
     ///
     /// # Errors
     ///
@@ -640,338 +233,12 @@ impl<'m> Server<'m> {
     /// invalid (a policy spec that does not build, or a budget override
     /// combined with `unbudgeted`); the request is not enqueued.
     pub fn submit(&mut self, request: Request) -> Result<(), CoreError> {
-        request.overrides.validate()?;
-        self.queue.push_back(Pending {
-            request,
-            submitted_step: self.step,
-        });
-        Ok(())
+        self.engine.submit(request).map(|_| ())
     }
 
-    fn fail(&mut self, id: RequestId, reason: FailureReason) {
-        self.failed.push(FailedRequest {
-            id,
-            reason,
-            step: self.step,
-        });
-    }
-
-    /// Advances every in-flight chunked prefill by one chunk, oldest first,
-    /// consuming `budget` prefill work units. Stalled prefills (strict pool out
-    /// of blocks) consume no budget and stay resumable.
-    fn continue_prefills(&mut self, budget: &mut usize) {
-        let mut i = 0;
-        while i < self.running.len() && *budget > 0 {
-            if !self.running[i].session.is_prefilling() {
-                i += 1;
-                continue;
-            }
-            match self.running[i].session.advance_prefill() {
-                Ok(progress) => {
-                    if progress.stalled {
-                        self.stats.prefill_stalls += 1;
-                    }
-                    if progress.processed > 0 {
-                        *budget -= 1;
-                        self.stats.prefill_chunks += 1;
-                        self.running[i].stall_streak = 0;
-                    } else if progress.stalled {
-                        self.running[i].stall_streak += 1;
-                    }
-                    if progress.ready {
-                        self.stats.prefills += 1;
-                    }
-                    i += 1;
-                }
-                Err(e) => {
-                    let running = self.running.remove(i);
-                    self.pool.unreserve(running.reserved_blocks);
-                    self.fail(running.id(), FailureReason::Engine(e));
-                }
-            }
-        }
-    }
-
-    /// `true` while the running session at `idx` could not make prefill
-    /// progress — mirroring exactly the reservation-aware pre-flight
-    /// [`Session::advance_prefill`] stalls on: the next token's block need
-    /// while prompt tokens remain, or the worst-case copy-on-write fork count
-    /// once only the end-of-prompt eviction is pending. (Using the wrong
-    /// `needed` here would let relief stop while the session's own gate still
-    /// fails, stalling it forever.)
-    fn prefill_starved(&self, idx: usize) -> bool {
-        let r = &self.running[idx];
-        let cache = r.session.cache();
-        let needed = if r.session.prefill_remaining() == 0 {
-            cache.shared_block_count()
-        } else {
-            cache.blocks_needed_for_next_token()
-        };
-        if needed == 0 {
-            return false;
-        }
-        !self
-            .pool
-            .can_allocate_transient(needed, cache.total_blocks(), r.reserved_blocks)
-    }
-
-    /// Frees memory for a prefill that is starving on a dry pool: first
-    /// reclaims prefix-registry pins (least-recently-used first; attached
-    /// sequences keep their own refcounts and are unaffected), and once the
-    /// stall has persisted for [`PREEMPT_AFTER_STALLS`] whole steps, swaps out
-    /// the *youngest* running session — its private blocks return to the pool,
-    /// its shared blocks stay pinned for whoever still maps them, and its
-    /// request goes back to the head of the queue to be re-admitted later (the
-    /// resumable-prefill machinery plus prefix re-attachment make the redo
-    /// cheap, and per-request seeding makes it token-identical).
-    fn relieve_pressure(&mut self) {
-        let stalled = self
-            .running
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.session.is_prefilling() && r.stall_streak > 0)
-            .max_by_key(|(_, r)| r.stall_streak)
-            .map(|(i, r)| (i, r.stall_streak));
-        let Some((stalled_idx, streak)) = stalled else {
-            return;
-        };
-        while self.prefill_starved(stalled_idx) {
-            let evicted = self
-                .registry
-                .as_ref()
-                .is_some_and(SharedPrefixRegistry::evict_lru);
-            if !evicted {
-                break;
-            }
-        }
-        if streak < PREEMPT_AFTER_STALLS || !self.prefill_starved(stalled_idx) {
-            return;
-        }
-        let victim_idx = self
-            .running
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != stalled_idx)
-            .max_by_key(|&(i, r)| (r.admitted_step, i))
-            .map(|(i, _)| i);
-        if let Some(idx) = victim_idx {
-            let victim = self.running.remove(idx);
-            self.pool.unreserve(victim.reserved_blocks);
-            // Dropping the session releases its private blocks (and its own
-            // refs on shared ones).
-            self.queue.push_front(Pending {
-                submitted_step: victim.submitted_step,
-                request: victim.request,
-            });
-            self.stats.preemptions += 1;
-        }
-    }
-
-    /// Index of the next queued request to consider for admission, under the
-    /// configured [`AdmissionOrder`]. The shortest-prefill-first scan walks
-    /// the registry chain of every queued prompt, so it costs
-    /// O(queue × prompt) hashing per admission — fine at batch-queue depths;
-    /// a deeper queue would want the match length cached on `Pending`.
-    fn admission_candidate(&self) -> Option<usize> {
-        match self.config.admission_order {
-            AdmissionOrder::Fifo => (!self.queue.is_empty()).then_some(0),
-            AdmissionOrder::ShortestPrefillFirst => self
-                .queue
-                .iter()
-                .enumerate()
-                .min_by_key(|(i, p)| {
-                    (
-                        self.remaining_prefill_tokens(&p.request),
-                        p.submitted_step,
-                        *i,
-                    )
-                })
-                .map(|(i, _)| i),
-        }
-    }
-
-    fn admit(&mut self, budget: &mut usize) -> usize {
-        let mut admitted = 0;
-        while *budget > 0 && self.running.len() < self.config.max_concurrency {
-            if self.config.strict_pool && self.running.iter().any(|r| r.session.is_prefilling()) {
-                // Strict pools serialize prefills: concurrent half-done
-                // prefills could each hold blocks the others need and stall
-                // each other forever. One at a time is deadlock-free, because
-                // decoding sessions always retire eventually.
-                break;
-            }
-            let Some(candidate) = self.admission_candidate() else {
-                break;
-            };
-            let reserved = self.admission_reservation(&self.queue[candidate].request);
-            let peak = self.peak_blocks_for(&self.queue[candidate].request);
-            let impossible = reserved > self.total_blocks
-                || (self.config.strict_pool && peak > self.total_blocks);
-            if impossible {
-                // Can never fit, even alone: retire instead of deadlocking the
-                // queue behind it.
-                let pending = self.queue.remove(candidate).expect("candidate exists");
-                let blocks = if self.config.strict_pool {
-                    peak
-                } else {
-                    reserved
-                };
-                self.fail(
-                    pending.request.id,
-                    FailureReason::TooLargeForPool {
-                        projected_bytes: blocks * self.bytes_per_block,
-                        pool_bytes: self.config.pool_bytes,
-                    },
-                );
-                continue;
-            }
-            if !self.pool.try_reserve(reserved) {
-                // On a strict pool the registry's pins hold reservations of
-                // their own; peel least-recently-used entries until the
-                // candidate fits or the registry is dry.
-                let mut fits = false;
-                if self.config.strict_pool {
-                    while let Some(registry) = &self.registry {
-                        if !registry.evict_lru() {
-                            break;
-                        }
-                        if self.pool.try_reserve(reserved) {
-                            fits = true;
-                            break;
-                        }
-                    }
-                }
-                if !fits {
-                    // The chosen candidate waits for blocks; nothing else may
-                    // jump it (under FIFO that is the head, preserving
-                    // submission order exactly).
-                    break;
-                }
-            }
-            let pending = self.queue.remove(candidate).expect("candidate exists");
-            let policy_spec = pending.request.effective_policy(self.config.policy);
-            let budget_spec = pending.request.effective_budget(self.config.budget);
-            let policy = match policy_spec.build() {
-                Ok(policy) => policy,
-                Err(e) => {
-                    // Unreachable after validate()/submit(), but a config error
-                    // must not take the server down.
-                    self.pool.unreserve(reserved);
-                    self.fail(pending.request.id, FailureReason::Engine(e));
-                    continue;
-                }
-            };
-            let mut session =
-                Session::with_pool(self.model, policy, budget_spec, self.pool.clone());
-            session.set_prefill_chunk(self.config.prefill_chunk);
-            session.set_block_reservation(reserved);
-            let begun = match &self.registry {
-                Some(registry) => {
-                    session.set_prefix_registry(registry.clone(), policy_context(&policy_spec));
-                    session
-                        .begin_with_prefix(&pending.request.prompt, &pending.request.config)
-                        .map(|_| ())
-                }
-                None => session.begin(&pending.request.prompt, &pending.request.config),
-            };
-            match begun {
-                Ok(()) => {
-                    self.stats.prefix_tokens_reused += session.prefix_tokens_reused() as u64;
-                    let mut stall_streak = 0;
-                    if session.is_prefilling() {
-                        // Chunked: the first chunk runs in this step's prefill
-                        // budget, right here at admission.
-                        match session.advance_prefill() {
-                            Ok(progress) => {
-                                *budget -= 1;
-                                self.stats.prefill_chunks += 1;
-                                if progress.stalled {
-                                    self.stats.prefill_stalls += 1;
-                                    if progress.processed == 0 {
-                                        stall_streak = 1;
-                                    }
-                                }
-                                if progress.ready {
-                                    self.stats.prefills += 1;
-                                }
-                            }
-                            Err(e) => {
-                                self.pool.unreserve(reserved);
-                                self.fail(pending.request.id, FailureReason::Engine(e));
-                                continue;
-                            }
-                        }
-                    } else {
-                        // One-shot: the whole prompt ran inside begin(), so
-                        // only a successful begin consumes the prefill slot.
-                        *budget -= 1;
-                        self.stats.prefills += 1;
-                        self.stats.prefill_chunks += 1;
-                    }
-                    admitted += 1;
-                    self.running.push(Running {
-                        request: pending.request,
-                        session,
-                        reserved_blocks: reserved,
-                        submitted_step: pending.submitted_step,
-                        admitted_step: self.step,
-                        stall_streak,
-                    })
-                }
-                Err(e) => {
-                    self.pool.unreserve(reserved);
-                    self.fail(pending.request.id, FailureReason::Engine(e));
-                }
-            }
-        }
-        admitted
-    }
-
-    fn decode_round(&mut self) -> usize {
-        let mut executed = 0;
-        let mut i = 0;
-        while i < self.running.len() {
-            let running = &mut self.running[i];
-            if running.session.is_prefilling() {
-                // Mid-prompt: nothing to decode yet.
-                i += 1;
-                continue;
-            }
-            if running.session.is_decoding() {
-                match running.session.step() {
-                    Ok(_) => {
-                        executed += 1;
-                        self.stats.decode_steps += 1;
-                    }
-                    Err(e) => {
-                        let running = self.running.remove(i);
-                        self.pool.unreserve(running.reserved_blocks);
-                        self.fail(running.id(), FailureReason::Engine(e));
-                        continue;
-                    }
-                }
-            }
-            if self.running[i].session.is_decoding() {
-                i += 1;
-            } else {
-                let mut done = self.running.remove(i);
-                self.pool.unreserve(done.reserved_blocks);
-                let output = done
-                    .session
-                    .take_output()
-                    .expect("finished session has an output");
-                // Dropping the session below returns its blocks to the pool.
-                self.completed.push(Completion {
-                    id: done.id(),
-                    prefix_tokens_reused: done.session.prefix_tokens_reused(),
-                    output,
-                    submitted_step: done.submitted_step,
-                    admitted_step: done.admitted_step,
-                    completed_step: self.step,
-                });
-            }
-        }
-        executed
+    /// Cancels an in-flight request; see [`Engine::cancel`].
+    pub fn cancel(&mut self, id: RequestId) -> bool {
+        self.engine.cancel(id)
     }
 
     /// Runs one batched scheduler step — prefill continuation, pressure relief
@@ -979,55 +246,23 @@ impl<'m> Server<'m> {
     /// running session past its prefill — and reports what happened plus an
     /// end-of-step memory snapshot.
     pub fn step(&mut self) -> StepReport {
-        self.step += 1;
-        let completed_before = self.completed.len();
-        let failed_before = self.failed.len();
-        let preempted_before = self.stats.preemptions;
-        let chunks_before = self.stats.prefill_chunks;
-        let mut prefill_budget = self.config.prefills_per_step;
-        self.continue_prefills(&mut prefill_budget);
-        self.relieve_pressure();
-        let admitted = self.admit(&mut prefill_budget);
-        let executed = self.decode_round();
-        self.stats.steps += 1;
-        self.stats.peak_concurrency = self.stats.peak_concurrency.max(self.running.len());
-        let live = self.live_kv_bytes();
-        self.stats.live_kv_byte_steps += live as u64;
-        self.stats.peak_live_kv_bytes = self.stats.peak_live_kv_bytes.max(live);
-        let live_slots = self.physical_live_slots();
-        let allocated_slots = self.pool.blocks_in_use() * self.config.block_size;
-        self.stats.live_slot_steps += live_slots as u64;
-        self.stats.allocated_slot_steps += allocated_slots as u64;
-        StepReport {
-            step: self.step,
-            decode_steps: executed,
-            prefill_chunks: self.stats.prefill_chunks - chunks_before,
-            admitted,
-            completed: self.completed.len() - completed_before,
-            failed: self.failed.len() - failed_before,
-            preempted: self.stats.preemptions - preempted_before,
-            live_slots,
-            allocated_slots,
-            pool: self.pool.stats(),
-            registry: self.registry_stats(),
-        }
+        self.engine.step()
     }
 
     /// Runs up to `max_steps` scheduler steps, stopping early once idle.
     /// Returns the number of steps actually executed.
     pub fn run(&mut self, max_steps: usize) -> usize {
-        let mut executed = 0;
-        while executed < max_steps && !self.is_idle() {
-            self.step();
-            executed += 1;
-        }
-        executed
+        self.engine.run(max_steps)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::AdmissionOrder;
+    use crate::request::FailureReason;
+    use keyformer_core::budget::CacheBudgetSpec;
+    use keyformer_core::spec::PolicySpec;
     use keyformer_model::engine::InferenceEngine;
     use keyformer_model::families::ModelFamily;
     use keyformer_model::generation::GenerationConfig;
@@ -1065,6 +300,22 @@ mod tests {
         assert_eq!(report.utilization(), 1.0, "empty pool is not fragmented");
         assert!(report.registry.is_none(), "sharing is off by default");
         assert!(server.completions().is_empty());
+    }
+
+    #[test]
+    fn facade_disables_event_recording() {
+        let model = ModelFamily::Tiny.build(1);
+        let mut server = keyformer_server(&model, 64);
+        assert!(!server.engine().is_recording_events());
+        server
+            .submit(Request::new(1, prompt(12, 0), GenerationConfig::new(2)))
+            .unwrap();
+        server.run(64);
+        assert_eq!(server.engine().pending_events(), 0, "no buffered events");
+        assert_eq!(server.engine_mut().drain_events(), vec![]);
+        // The wrapped engine remains reachable for incremental migration.
+        let engine = server.into_engine();
+        assert_eq!(engine.completions().len(), 1);
     }
 
     #[test]
@@ -1398,7 +649,7 @@ mod tests {
             server.run(1024);
             assert!(server.is_idle());
             assert!(server.failures().is_empty());
-            let mut completions = server.completed.clone();
+            let mut completions = server.completions().to_vec();
             completions.sort_by_key(|c| c.id);
             (completions, *server.stats())
         };
@@ -1555,7 +806,7 @@ mod tests {
             server.run(512);
             assert!(server.is_idle());
             assert!(server.failures().is_empty());
-            let mut completions = server.completed.clone();
+            let mut completions = server.completions().to_vec();
             completions.sort_by_key(|c| c.id);
             (completions, *server.stats(), server.pool_stats())
         };

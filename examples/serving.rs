@@ -1,15 +1,23 @@
 //! Serving quickstart: run the same burst of requests through the
-//! continuous-batching server under full attention and under Keyformer with a
-//! 50% KV budget, at the same fixed KV-byte pool, and compare throughput.
+//! continuous-batching engine under full attention and under Keyformer with a
+//! 50% KV budget, at the same fixed KV-byte pool, and compare throughput and
+//! per-token latency.
+//!
+//! This example drives the event-driven [`Engine`] API directly (`submit` →
+//! `step` → `completions`), the migration target for code that previously
+//! used the batch `Server` facade; see `examples/streaming_chat.rs` for
+//! per-token event streaming, cancellation and priorities.
 //!
 //! ```text
 //! cargo run --release --example serving
 //! ```
+//!
+//! [`Engine`]: keyformer::serve::Engine
 
 use keyformer::core::{CacheBudgetSpec, PolicySpec};
 use keyformer::model::families::ModelFamily;
 use keyformer::model::generation::GenerationConfig;
-use keyformer::serve::{Request, Server, ServerConfig, DEFAULT_SERVE_BLOCK_SIZE};
+use keyformer::serve::{Engine, Request, ServerConfig, DEFAULT_SERVE_BLOCK_SIZE};
 use keyformer::text::datasets::summarization::{SummarizationDataset, SummarizationSpec};
 
 fn main() {
@@ -48,10 +56,13 @@ fn main() {
             Some(CacheBudgetSpec::with_fraction(0.5).expect("valid budget")),
         ),
     ] {
-        let mut server = Server::new(&model, ServerConfig::new(policy, budget, pool_bytes))
+        let mut engine = Engine::new(&model, ServerConfig::new(policy, budget, pool_bytes))
             .expect("valid serving config");
+        // This driver harvests completions() retrospectively, so skip event
+        // buffering (streaming_chat.rs shows the event-driven side).
+        engine.record_events(false);
         for (i, sample) in dataset.samples().iter().enumerate() {
-            server
+            engine
                 .submit(Request::new(
                     i as u64,
                     sample.prompt.clone(),
@@ -59,9 +70,10 @@ fn main() {
                 ))
                 .expect("requests carry no overrides");
         }
-        server.run(step_budget);
-        let stats = server.stats();
-        let completed = server.completions().len();
+        engine.run(step_budget);
+        let stats = engine.stats();
+        let completions = engine.completions();
+        let completed = completions.len();
         println!("== {label} ==");
         println!(
             "  completed {completed}/{} requests in {} steps ({:.3} requests/step)",
@@ -75,13 +87,23 @@ fn main() {
             stats.mean_batch_size(),
             (stats.mean_live_kv_bytes() / 1024.0).round()
         );
-        if let Some(first) = server.completions().first() {
+        if completed > 0 {
+            let mean_ttft = completions
+                .iter()
+                .filter_map(|c| c.ttft_steps())
+                .sum::<usize>() as f64
+                / completed as f64;
+            let mean_itl = completions
+                .iter()
+                .map(|c| c.mean_inter_token_steps())
+                .sum::<f64>()
+                / completed as f64;
             println!(
-                "  first completion: {} after {} steps ({} queued)\n",
-                first.id,
-                first.latency_steps(),
-                first.queue_steps()
+                "  mean TTFT {mean_ttft:.1} steps, mean inter-token latency {mean_itl:.2} steps"
             );
+        }
+        if let Some(first) = completions.first() {
+            println!("  first completion: {first}\n");
         } else {
             println!("  no completions inside the step budget\n");
         }

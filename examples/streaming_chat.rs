@@ -1,0 +1,136 @@
+//! Streaming chat: four clients share one continuous-batching [`Engine`],
+//! each watching its own per-token event stream — with a mid-generation
+//! cancellation and a high-priority request jumping the admission queue.
+//!
+//! The pool is sized to run two chats at once, so the scheduler genuinely
+//! interleaves: you can watch tokens of concurrent requests alternate step by
+//! step, see `bob` hang up mid-answer (instantly freeing his KV blocks for
+//! the queue), and see `carol`'s priority-5 request overtake `dave`, who was
+//! submitted three steps earlier.
+//!
+//! ```text
+//! cargo run --release --example streaming_chat
+//! ```
+//!
+//! [`Engine`]: keyformer::serve::Engine
+
+use keyformer::core::{CacheBudgetSpec, PolicySpec};
+use keyformer::model::families::ModelFamily;
+use keyformer::model::generation::GenerationConfig;
+use keyformer::serve::{Engine, EventKind, Request, RequestId, ServerConfig, SubmitOptions};
+
+/// Synthetic prompt tokens for one client.
+fn prompt(len: usize, salt: u32) -> Vec<u32> {
+    (0..len)
+        .map(|i| (i as u32 * 13 + 5 + salt * 17) % 120)
+        .collect()
+}
+
+fn client(id: RequestId) -> &'static str {
+    match id.raw() {
+        0 => "alice",
+        1 => "bob  ",
+        2 => "dave ",
+        3 => "carol",
+        _ => "?",
+    }
+}
+
+fn main() {
+    let model = ModelFamily::Tiny.build(42);
+    let bytes_per_token = model.empty_cache().bytes_per_token();
+    // 30 cached tokens of pool = 15 four-slot blocks: exactly two concurrent
+    // Keyformer@50% chats with 24-token prompts (6 blocks each).
+    let mut engine = Engine::new(
+        &model,
+        ServerConfig::new(
+            PolicySpec::keyformer_default(),
+            Some(CacheBudgetSpec::new(0.5, 0.3).expect("valid budget")),
+            30 * bytes_per_token,
+        )
+        .with_block_size(4),
+    )
+    .expect("valid engine config");
+
+    // Three chats arrive together; the pool runs two, so dave queues.
+    let alice = engine
+        .submit(Request::new(0, prompt(24, 0), GenerationConfig::new(6)))
+        .expect("valid request");
+    let bob = engine
+        .submit(Request::new(1, prompt(24, 1), GenerationConfig::new(16)))
+        .expect("valid request");
+    engine
+        .submit(Request::new(2, prompt(24, 2), GenerationConfig::new(4)))
+        .expect("valid request");
+    println!("step    0  submitted: alice (6 tokens), bob (16 tokens), dave (4 tokens)");
+
+    let mut carol_submitted = false;
+    let mut bob_tokens = 0;
+    let mut bob_cancelled = false;
+    while !engine.is_idle() {
+        engine.step();
+        // Carol bursts in mid-run at priority 5: she overtakes dave, who has
+        // been queued since step 0 at priority 0.
+        if engine.steps() == 3 && !carol_submitted {
+            engine
+                .submit_with(
+                    Request::new(3, prompt(24, 3), GenerationConfig::new(5)),
+                    SubmitOptions::new().with_priority(5),
+                )
+                .expect("valid request");
+            carol_submitted = true;
+            println!("step    3  submitted: carol (5 tokens, priority 5 — jumps dave)");
+        }
+        for event in engine.drain_events() {
+            println!(
+                "step {:>4} {}: {}",
+                event.step,
+                client(event.id),
+                event.kind
+            );
+            if event.id == bob.id()
+                && matches!(
+                    event.kind,
+                    EventKind::FirstToken { .. } | EventKind::Token { .. }
+                )
+            {
+                bob_tokens += 1;
+            }
+        }
+        // Four tokens in, bob hangs up: cancellation mid-generation instantly
+        // frees his blocks and reservation for whoever is queued.
+        if bob_tokens >= 4 && !bob_cancelled {
+            bob_cancelled = engine.cancel(bob.id());
+            println!("           bob hangs up mid-answer -> cancel({})", bob.id());
+            for event in engine.drain_events_for(bob.id()) {
+                println!("           {}: {}", client(event.id), event.kind);
+            }
+        }
+    }
+
+    println!("\n== transcript summary ==");
+    for completion in engine.completions() {
+        println!(
+            "  {} {} | tokens {:?}",
+            client(completion.id),
+            completion,
+            completion.output.generated
+        );
+    }
+    for failure in engine.failures() {
+        println!("  {} {}", client(failure.id), failure);
+    }
+    let alice_done = engine
+        .completions()
+        .iter()
+        .find(|c| c.id == alice.id())
+        .expect("alice completes");
+    println!(
+        "\nalice saw her first token after {} steps and then one token every {:.1} steps",
+        alice_done.ttft_steps().expect("alice streamed tokens"),
+        alice_done.mean_inter_token_steps()
+    );
+    assert_eq!(engine.pool().blocks_in_use(), 0, "pool drained");
+    assert_eq!(engine.pool().blocks_reserved(), 0, "reservations drained");
+    println!("pool fully drained: no blocks or reservations left behind");
+}
