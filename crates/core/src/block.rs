@@ -718,4 +718,16 @@ mod tests {
         assert_eq!(blocks_for_slots(8, 8), 1);
         assert_eq!(blocks_for_slots(9, 8), 2);
     }
+
+    /// Compile-time thread-safety audit for the parallel serving layer: the
+    /// shared pool handle must be `Send + Sync` (workers allocate through it
+    /// concurrently) and the plain pool `Send` (it moves into the mutex).
+    #[test]
+    fn pool_handles_are_thread_safe() {
+        fn assert_send<T: Send>() {}
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send::<BlockPool>();
+        assert_send_sync::<SharedBlockPool>();
+        assert_send_sync::<BlockPoolStats>();
+    }
 }

@@ -842,4 +842,18 @@ mod tests {
         assert_ne!(b, c, "the seed must participate in the context");
         assert_eq!(b, policy_context(&PolicySpec::keyformer_default()));
     }
+
+    /// Compile-time thread-safety audit for the parallel serving layer: the
+    /// registry handle crosses threads (sessions carry a clone into decode
+    /// workers), so it — and the entries' boxed policy snapshots behind it —
+    /// must be `Send`; `KvCachePolicy`'s `Send` supertrait is what makes
+    /// this hold for every policy in the zoo.
+    #[test]
+    fn registry_handles_are_thread_safe() {
+        fn assert_send<T: Send>() {}
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send::<PrefixRegistry>();
+        assert_send_sync::<SharedPrefixRegistry>();
+        assert_send::<AttachedPrefix>();
+    }
 }

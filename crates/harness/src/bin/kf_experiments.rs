@@ -17,12 +17,14 @@
 //! configuration), running `prefix_sharing` writes `BENCH_prefix.json`
 //! (shared-system-prompt workload with sharing off vs. on), and running
 //! `streaming_latency` writes `BENCH_latency.json` (TTFT/inter-token-latency
-//! percentiles per policy under mixed-priority traffic with cancellations) to
-//! the working directory, so CI can archive the serving trajectories as
-//! machine-readable data.
+//! percentiles per policy under mixed-priority traffic with cancellations),
+//! and running `parallel_scaling` writes `BENCH_parallel.json` (wall-clock
+//! steps/sec vs `decode_workers`, token-identity verified against the
+//! sequential baseline) to the working directory, so CI can archive the
+//! serving trajectories as machine-readable data.
 
 use keyformer_harness::report::Table;
-use keyformer_harness::{paging, prefix, serving, streaming};
+use keyformer_harness::{paging, parallel, prefix, serving, streaming};
 use keyformer_harness::{run_experiment, ExperimentId};
 use serde::Serialize;
 
@@ -35,6 +37,9 @@ const PREFIX_JSON: &str = "BENCH_prefix.json";
 /// File the streaming-latency experiment's machine-readable summary is written
 /// to.
 const LATENCY_JSON: &str = "BENCH_latency.json";
+/// File the parallel-scaling experiment's machine-readable summary is written
+/// to.
+const PARALLEL_JSON: &str = "BENCH_parallel.json";
 
 /// Writes an experiment's machine-readable summary, exiting loudly on failure —
 /// a missing or stale JSON data point must not leave a previous run's file
@@ -73,6 +78,11 @@ fn run_with_artifacts(id: ExperimentId, samples: usize) -> Table {
         ExperimentId::StreamingLatency => {
             let (table, summaries) = streaming::streaming_latency_report(samples);
             write_summary(LATENCY_JSON, &summaries);
+            table
+        }
+        ExperimentId::ParallelScaling => {
+            let (table, summaries) = parallel::parallel_scaling_report(samples);
+            write_summary(PARALLEL_JSON, &summaries);
             table
         }
         _ => run_experiment(id, samples),

@@ -15,6 +15,7 @@
 pub mod accuracy;
 pub mod analysis;
 pub mod paging;
+pub mod parallel;
 pub mod perf;
 pub mod prefix;
 pub mod registry;

@@ -1,0 +1,344 @@
+//! Parallel-decode scaling experiment: wall-clock scheduler throughput versus
+//! `decode_workers`, proven token-identical at every worker count.
+//!
+//! PR 6 split the engine's decode round into plan → parallel-execute →
+//! serialized-commit: the forward passes of one scheduler step run on a worker
+//! pool while admission, eviction, preemption and event ordering stay
+//! serialized, so the token streams are byte-identical at any worker count.
+//! This experiment measures what that buys. Every policy of the zoo decodes
+//! the same fully-admitted batch (all requests submitted up front, pool sized
+//! to hold them all, short prompts so decode — not serial prefill — dominates)
+//! at `decode_workers` ∈ [`WORKER_COUNTS`], and reports wall-clock steps/sec,
+//! tokens/sec and the speedup over the 1-worker baseline. Each run's token
+//! streams are compared against the sequential baseline and the verdict is
+//! recorded in [`ParallelSummary::token_identical`] — a bench that silently
+//! diverged would be measuring a different computation.
+//!
+//! Scaling caveat (documented here because the acceptance bar asks for it):
+//! wall-clock speedup requires spare cores. On a single-core host — the CI
+//! container this repo grows in reports `nproc` = 1 — the worker pool can
+//! only interleave, never overlap, so every worker count measures the *same*
+//! computation plus the pool's fixed costs, and speedup hovers at 1.0× (the
+//! measured overhead of per-round `std::thread::scope` spawning is within
+//! run-to-run noise, a few percent). On multi-core hosts the per-round
+//! parallel section is `batch × per-token forward cost`; rounds of a couple
+//! hundred microseconds (GPT-J-like at batch 32) amortize the tens of
+//! microseconds of thread-spawn cost, and speedup improves with batch width
+//! (`--samples`). The headline correctness claim — byte-identical streams at
+//! 1/2/4/8 workers — holds regardless, and is what this bench enforces.
+
+use crate::report::{fmt, Table};
+use keyformer_core::budget::CacheBudgetSpec;
+use keyformer_core::spec::PolicySpec;
+use keyformer_model::families::ModelFamily;
+use keyformer_model::generation::{GenerationConfig, GenerationOutput};
+use keyformer_model::model::TransformerModel;
+use keyformer_serve::{Completion, Engine, Request, ServerConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Weight seed of the scaling experiment's model (distinct from the serving
+/// experiments so the two benches cannot mask each other's regressions).
+const MODEL_SEED: u64 = 23;
+/// Prompt length — deliberately short so serial chunked prefill is a small
+/// fraction of the run and decode rounds dominate the wall clock.
+const PROMPT_LEN: usize = 24;
+/// Tokens generated per request — long relative to the prompt, for the same
+/// reason.
+const GEN_TOKENS: usize = 48;
+/// KV budget fraction applied to the budgeted policies.
+const CACHE_FRACTION: f64 = 0.5;
+
+/// The worker counts every policy is measured at. The first entry must be 1:
+/// it is the sequential baseline later entries are compared against.
+pub const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Machine-readable summary of one (policy, worker-count) run, emitted as
+/// `BENCH_parallel.json` by `kf_experiments`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParallelSummary {
+    /// Policy label (e.g. `Keyformer(gumbel, per-layer)@50%`).
+    pub policy: String,
+    /// `decode_workers` this run executed with.
+    pub workers: usize,
+    /// Requests submitted (all up front).
+    pub submitted: usize,
+    /// Requests completed (must equal `submitted` at every worker count).
+    pub completed: usize,
+    /// Scheduler steps until idle.
+    pub steps: usize,
+    /// Per-session decode steps executed (total tokens generated).
+    pub decode_steps: usize,
+    /// Wall-clock milliseconds for the whole run loop.
+    pub wall_ms: f64,
+    /// Scheduler steps per wall-clock second.
+    pub steps_per_sec: f64,
+    /// Generated tokens per wall-clock second.
+    pub tokens_per_sec: f64,
+    /// Wall-clock speedup over the same policy's 1-worker run (1.0 for the
+    /// baseline itself).
+    pub speedup: f64,
+    /// Whether this run's per-request token streams are byte-identical to the
+    /// 1-worker baseline's. Anything but `true` is a correctness bug.
+    pub token_identical: bool,
+}
+
+/// The full policy zoo, each with the budget the experiment runs it under
+/// (`None` only for the full-attention baseline).
+fn scaling_policies() -> Vec<(String, PolicySpec, Option<CacheBudgetSpec>)> {
+    let budget = CacheBudgetSpec::with_fraction(CACHE_FRACTION).expect("valid fraction");
+    let pct = (CACHE_FRACTION * 100.0) as usize;
+    vec![
+        ("Full".into(), PolicySpec::Full, None),
+        (format!("Window@{pct}%"), PolicySpec::Window, Some(budget)),
+        (
+            format!("Dilated@{pct}%"),
+            PolicySpec::DilatedWindow { dilation: 1 },
+            Some(budget),
+        ),
+        (format!("KeyOnly@{pct}%"), PolicySpec::KeyOnly, Some(budget)),
+        (
+            format!("H2O@{pct}%"),
+            PolicySpec::h2o_default(),
+            Some(budget),
+        ),
+        (
+            format!("Damped@{pct}%"),
+            PolicySpec::Damped { alpha: 0.9 },
+            Some(budget),
+        ),
+        (
+            format!("StreamingLLM@{pct}%"),
+            PolicySpec::streaming_default(),
+            Some(budget),
+        ),
+        (
+            format!("Keyformer@{pct}%"),
+            PolicySpec::keyformer_default(),
+            Some(budget),
+        ),
+    ]
+}
+
+/// Deterministic synthetic request stream: one prompt per request, each with
+/// its own token pattern.
+fn request_stream(workload: &Workload) -> Vec<Request> {
+    (0..workload.requests)
+        .map(|i| {
+            let salt = i as u32;
+            let prompt: Vec<u32> = (0..workload.prompt_len)
+                .map(|t| (t as u32 * 13 + 7 + salt * 31) % 120)
+                .collect();
+            Request::new(i as u64, prompt, GenerationConfig::new(workload.gen_tokens))
+        })
+        .collect()
+}
+
+/// The sorted `(request id, generation output)` pairs of a run — the identity
+/// fingerprint compared across worker counts (tokens, cache slot counts and
+/// byte footprints all have to match, not just the text).
+fn token_streams(completions: &[Completion]) -> Vec<(u64, GenerationOutput)> {
+    let mut streams: Vec<(u64, GenerationOutput)> = completions
+        .iter()
+        .map(|c| (c.id.raw(), c.output.clone()))
+        .collect();
+    streams.sort_unstable_by_key(|(id, _)| *id);
+    streams
+}
+
+/// One timed run: submit the whole batch, step to idle, return the wall clock
+/// together with the evidence needed for the identity check.
+fn timed_run(
+    model: &TransformerModel,
+    workload: &Workload,
+    policy: &PolicySpec,
+    budget: Option<CacheBudgetSpec>,
+    workers: usize,
+) -> (f64, usize, usize, Vec<(u64, GenerationOutput)>) {
+    let bytes_per_token = model.empty_cache().bytes_per_token();
+    // Roomy pool: every request admitted up front, so each decode round runs
+    // the full batch and the experiment measures execution, not queueing.
+    let pool_bytes =
+        workload.requests * (workload.prompt_len + workload.gen_tokens + 8) * bytes_per_token;
+    let config = ServerConfig::new(*policy, budget, pool_bytes).with_decode_workers(workers);
+    let mut engine = Engine::new(model, config).expect("scaling config is valid");
+    engine.record_events(false);
+    for request in request_stream(workload) {
+        engine
+            .submit(request)
+            .expect("roomy pool admits everything");
+    }
+    let start = Instant::now();
+    engine.run(100_000);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let stats = *engine.stats();
+    let streams = token_streams(engine.completions());
+    (wall_ms, stats.steps, stats.decode_steps, streams)
+}
+
+/// The request shape one scaling grid runs with. The experiment uses the
+/// GPT-J-like sizes above; the unit tests shrink it onto the `Tiny` family so
+/// the same code path stays affordable in unoptimized test builds.
+struct Workload {
+    prompt_len: usize,
+    gen_tokens: usize,
+    requests: usize,
+}
+
+/// Runs the full grid (policy zoo × [`WORKER_COUNTS`]) for one model and
+/// workload.
+fn scaling_grid(model: &TransformerModel, workload: &Workload) -> (Table, Vec<ParallelSummary>) {
+    let (requests, prompt_len, gen_tokens) =
+        (workload.requests, workload.prompt_len, workload.gen_tokens);
+    let mut table = Table::new(
+        format!(
+            "Parallel decode scaling: wall-clock throughput vs decode_workers \
+             ({requests} requests submitted up front, prompt {prompt_len}, \
+             {gen_tokens} generated tokens; token streams verified identical \
+             to the 1-worker baseline)"
+        ),
+        &[
+            "policy",
+            "workers",
+            "completed",
+            "steps",
+            "wall_ms",
+            "steps/s",
+            "tokens/s",
+            "speedup",
+            "identical",
+        ],
+    );
+    let mut summaries = Vec::new();
+    for (label, policy, budget) in scaling_policies() {
+        let mut baseline: Option<(f64, Vec<(u64, GenerationOutput)>)> = None;
+        for workers in WORKER_COUNTS {
+            let (wall_ms, steps, decode_steps, streams) =
+                timed_run(model, workload, &policy, budget, workers);
+            let (base_ms, token_identical) = match &baseline {
+                None => {
+                    baseline = Some((wall_ms, streams.clone()));
+                    (wall_ms, true)
+                }
+                Some((base_ms, base_streams)) => (*base_ms, streams == *base_streams),
+            };
+            let secs = (wall_ms / 1e3).max(f64::EPSILON);
+            let summary = ParallelSummary {
+                policy: label.clone(),
+                workers,
+                submitted: workload.requests,
+                completed: streams.len(),
+                steps,
+                decode_steps,
+                wall_ms,
+                steps_per_sec: steps as f64 / secs,
+                tokens_per_sec: decode_steps as f64 / secs,
+                speedup: base_ms / wall_ms.max(f64::EPSILON),
+                token_identical,
+            };
+            table.push_row(vec![
+                summary.policy.clone(),
+                summary.workers.to_string(),
+                summary.completed.to_string(),
+                summary.steps.to_string(),
+                fmt(summary.wall_ms),
+                fmt(summary.steps_per_sec),
+                fmt(summary.tokens_per_sec),
+                fmt(summary.speedup),
+                summary.token_identical.to_string(),
+            ]);
+            summaries.push(summary);
+        }
+    }
+    (table, summaries)
+}
+
+/// Runs the scaling grid and returns both the rendered table and the
+/// per-(policy, workers) summaries.
+///
+/// `samples` scales the batch width (16 requests per sample): wider batches
+/// give each decode round more parallel work per thread-spawn.
+pub fn parallel_scaling_report(samples: usize) -> (Table, Vec<ParallelSummary>) {
+    let samples = samples.max(1);
+    // GPT-J-like rather than Tiny: a real 4-layer forward pass per token, so
+    // the parallel section of each round is wide enough to be worth measuring.
+    let model = ModelFamily::GptJLike.build(MODEL_SEED);
+    let workload = Workload {
+        prompt_len: PROMPT_LEN,
+        gen_tokens: GEN_TOKENS,
+        requests: 16 * samples,
+    };
+    scaling_grid(&model, &workload)
+}
+
+/// Table-only entry point used by the experiment registry.
+pub fn parallel_scaling(samples: usize) -> Table {
+    parallel_scaling_report(samples).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summaries_cover_the_zoo_at_every_worker_count_and_stay_identical() {
+        // Tiny model and a small batch: the full GPT-J-like grid belongs to
+        // `kf_experiments`, not to unoptimized test builds. The code path —
+        // zoo × worker counts, identity fingerprinting, speedup bookkeeping —
+        // is exactly the one the experiment runs.
+        let model = ModelFamily::Tiny.build(MODEL_SEED);
+        let workload = Workload {
+            prompt_len: 12,
+            gen_tokens: 6,
+            requests: 5,
+        };
+        let (table, summaries) = scaling_grid(&model, &workload);
+        assert_eq!(
+            summaries.len(),
+            8 * WORKER_COUNTS.len(),
+            "the whole policy zoo runs at every worker count"
+        );
+        for summary in &summaries {
+            assert_eq!(
+                summary.completed, summary.submitted,
+                "{} at {} workers drained the batch",
+                summary.policy, summary.workers
+            );
+            assert!(
+                summary.token_identical,
+                "{} at {} workers diverged from the sequential baseline",
+                summary.policy, summary.workers
+            );
+            assert!(summary.wall_ms > 0.0 && summary.speedup > 0.0);
+        }
+        // Every policy ran the same deterministic step count at every worker
+        // count — the wall clock varies, the schedule must not.
+        for chunk in summaries.chunks(WORKER_COUNTS.len()) {
+            assert!(chunk.iter().all(|s| s.steps == chunk[0].steps));
+            assert!(chunk
+                .iter()
+                .all(|s| s.decode_steps == chunk[0].decode_steps));
+        }
+        assert_eq!(table.rows.len(), summaries.len());
+    }
+
+    #[test]
+    fn summaries_serialize_round_trip() {
+        let summaries = vec![ParallelSummary {
+            policy: "Keyformer@50%".into(),
+            workers: 4,
+            submitted: 32,
+            completed: 32,
+            steps: 79,
+            decode_steps: 1536,
+            wall_ms: 1051.5,
+            steps_per_sec: 75.1,
+            tokens_per_sec: 1460.7,
+            speedup: 1.04,
+            token_identical: true,
+        }];
+        let json = serde_json::to_string(&summaries).expect("serializes");
+        let back: Vec<ParallelSummary> = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, summaries);
+    }
+}

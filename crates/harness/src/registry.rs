@@ -2,7 +2,7 @@
 //! regenerate them.
 
 use crate::report::Table;
-use crate::{accuracy, analysis, paging, perf, prefix, serving, streaming};
+use crate::{accuracy, analysis, paging, parallel, perf, prefix, serving, streaming};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of one paper table or figure.
@@ -60,6 +60,10 @@ pub enum ExperimentId {
     /// under mixed-priority traffic with mid-flight cancellations, via the
     /// event-driven engine (not a paper artefact).
     StreamingLatency,
+    /// Parallel decode scaling: wall-clock steps/sec vs `decode_workers`
+    /// across the policy zoo, token streams verified identical to the
+    /// sequential baseline at every worker count (not a paper artefact).
+    ParallelScaling,
 }
 
 impl ExperimentId {
@@ -89,6 +93,7 @@ impl ExperimentId {
             Paging,
             PrefixSharing,
             StreamingLatency,
+            ParallelScaling,
         ]
     }
 
@@ -118,6 +123,7 @@ impl ExperimentId {
             "paging" => Paging,
             "prefix_sharing" => PrefixSharing,
             "streaming_latency" => StreamingLatency,
+            "parallel_scaling" => ParallelScaling,
             _ => return None,
         })
     }
@@ -148,6 +154,7 @@ impl ExperimentId {
             Paging => "paging",
             PrefixSharing => "prefix_sharing",
             StreamingLatency => "streaming_latency",
+            ParallelScaling => "parallel_scaling",
         }
     }
 }
@@ -186,6 +193,7 @@ pub fn run_experiment(id: ExperimentId, samples: usize) -> Table {
         ExperimentId::Paging => paging::paging(samples),
         ExperimentId::PrefixSharing => prefix::prefix_sharing(samples),
         ExperimentId::StreamingLatency => streaming::streaming_latency(samples),
+        ExperimentId::ParallelScaling => parallel::parallel_scaling(samples),
     }
 }
 
@@ -207,7 +215,7 @@ mod tests {
     fn all_lists_every_experiment() {
         // 18 paper artefacts + the serving-throughput, paging, prefix-sharing
         // and streaming-latency experiments.
-        assert_eq!(ExperimentId::all().len(), 22);
+        assert_eq!(ExperimentId::all().len(), 23);
     }
 
     #[test]

@@ -1353,4 +1353,17 @@ mod tests {
             .unwrap();
         assert_eq!(a.generated, b.generated);
     }
+
+    /// Compile-time thread-safety audit for the parallel serving layer: a
+    /// `Session` must be safely movable to a worker thread for the duration
+    /// of one decode step (`&mut Session: Send` requires `Session: Send`),
+    /// which in turn requires the shared model reference to be `Sync` —
+    /// forward passes are pure reads of the weights.
+    #[test]
+    fn sessions_move_across_decode_workers() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Session<'static>>();
+        assert_sync::<TransformerModel>();
+    }
 }

@@ -66,6 +66,37 @@
 //! footprint in blocks, exactly as documented on [`crate::Server`]; the
 //! engine and the facade share this code path, so batch behaviour is
 //! bit-identical between the two.
+//!
+//! ## Parallel decode (plan → execute → commit)
+//!
+//! With [`ServerConfig::decode_workers`] above 1, the decode round of each
+//! step fans its per-session forward passes out over a scoped worker pool
+//! while every *scheduling decision* stays on the calling thread:
+//!
+//! 1. **Plan** (serial): decide which running sessions take a decode token
+//!    this round — a pure read of scheduler state.
+//! 2. **Execute** (parallel): run [`Session::step`] for every planned session
+//!    on up to `decode_workers` scoped threads. Sessions are mutually
+//!    independent here: each owns its policy, RNG and private KV blocks, and
+//!    the shared block pool is a mutex-guarded allocator whose *counts* do not
+//!    depend on allocation order.
+//! 3. **Commit** (serial): replay the results in plan order — surface tokens,
+//!    retire completions and failures, return reservations — so the event
+//!    stream, completions and stats are byte-identical to `decode_workers =
+//!    1`.
+//!
+//! One determinism gate guards the copy-on-write path: a round in which any
+//! *budgeted* session still maps shared prefix blocks runs sequentially,
+//! because a mid-decode CoW fork's `Arc::strong_count` check could otherwise
+//! race a neighbour's release and perturb allocation counts. Unbudgeted
+//! sessions never write inside attached blocks, so they parallelize freely.
+//! The only quantities that may legitimately differ from the sequential
+//! engine are the pool's transient high-water marks (`peak_in_use`,
+//! `peak_reserved`, `peak_shared_blocks`): parallel execution genuinely holds
+//! more blocks at once mid-round. Everything observable at end-of-step —
+//! tokens, events, completions, live pool state, allocation totals — is
+//! identical, which `tests/parallel_decode_properties.rs` proves across the
+//! policy zoo.
 
 use crate::request::{Completion, FailedRequest, FailureReason, Request, RequestId, SubmitOptions};
 use keyformer_core::block::{
@@ -79,7 +110,9 @@ use keyformer_model::model::TransformerModel;
 use keyformer_model::session::{Session, SessionStep};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Default token slots per block used by the serving layer.
 ///
@@ -162,6 +195,13 @@ pub struct ServerConfig {
     pub prefix_sharing: bool,
     /// Order in which queued requests are admitted (default FIFO).
     pub admission_order: AdmissionOrder,
+    /// Worker threads the decode round fans per-session forward passes over
+    /// (default 1 = fully sequential, today's behaviour). Scheduling stays
+    /// serialized at any setting, so results are token-identical across
+    /// worker counts; see the [module docs](self) for the
+    /// plan → execute → commit pipeline. Zero is rejected by
+    /// [`ServerConfig::validate`].
+    pub decode_workers: usize,
 }
 
 impl ServerConfig {
@@ -180,7 +220,29 @@ impl ServerConfig {
             strict_pool: false,
             prefix_sharing: false,
             admission_order: AdmissionOrder::Fifo,
+            decode_workers: 1,
         }
+    }
+
+    /// Sets how many worker threads the decode round may use; see
+    /// [`ServerConfig::decode_workers`]. Zero is not clamped — it fails
+    /// [`ServerConfig::validate`].
+    pub fn with_decode_workers(mut self, workers: usize) -> Self {
+        self.decode_workers = workers;
+        self
+    }
+
+    /// The `KF_DECODE_WORKERS` environment override, when set and parsable as
+    /// a positive integer. The test suites apply it via
+    /// [`ServerConfig::with_decode_workers`] so CI can run the whole property
+    /// surface twice — sequential and parallel — without code changes. The
+    /// engine itself never reads the environment: configuration stays
+    /// explicit.
+    pub fn decode_workers_from_env() -> Option<usize> {
+        std::env::var("KF_DECODE_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&w| w > 0)
     }
 
     /// Caps the number of concurrently running sessions.
@@ -263,6 +325,11 @@ impl ServerConfig {
                     .into(),
             ));
         }
+        if self.decode_workers == 0 {
+            return Err(CoreError::InvalidConfig(
+                "decode_workers must be at least 1; use 1 for fully sequential decode".into(),
+            ));
+        }
         self.policy.build().map(|_| ())
     }
 }
@@ -273,10 +340,11 @@ pub type EngineConfig = ServerConfig;
 
 /// Opaque handle returned by [`Engine::submit`], naming one in-flight request.
 ///
-/// The handle is a lightweight token (the engine is single-threaded, so it
-/// carries no channel): pass it — or its [`RequestHandle::id`] — back into
-/// [`Engine::drain_events_for`] to stream the request's events and into
-/// [`Engine::cancel`] to retire it early.
+/// The handle is a lightweight token (the engine is driven from one thread,
+/// so it carries no channel): pass it — or its [`RequestHandle::id`] — back
+/// into [`Engine::drain_events_for`] to stream the request's events and into
+/// [`Engine::cancel`] to retire it early. To cancel from *another* thread,
+/// pair the id with a [`CancelSignal`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RequestHandle {
     id: RequestId,
@@ -292,6 +360,52 @@ impl RequestHandle {
 impl std::fmt::Display for RequestHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.id)
+    }
+}
+
+/// A clonable, thread-safe cancellation mailbox for an [`Engine`].
+///
+/// [`Engine::cancel`] needs `&mut Engine`, so it can only run between steps
+/// on the driving thread. A `CancelSignal` (from [`Engine::cancel_signal`])
+/// can be handed to *any* thread — a client timeout task, a worker — and
+/// fired at any moment, including while a parallel decode step is executing.
+/// The engine drains the mailbox at its two serialization points:
+///
+/// * at the top of every [`Engine::step`], before deadline expiry, and
+/// * between the execute and commit phases of a parallel decode round.
+///
+/// A cancellation that lands between plan and commit retires the request
+/// *before* its freshly computed token is surfaced: the request retires
+/// exactly once, its blocks and reservation return to the pool, and no event
+/// follows the terminal [`EventKind::Cancelled`]. Signals naming unknown or
+/// already-retired requests are ignored, exactly like [`Engine::cancel`]
+/// returning `false`.
+#[derive(Debug, Clone, Default)]
+pub struct CancelSignal {
+    inner: Arc<Mutex<Vec<RequestId>>>,
+}
+
+impl CancelSignal {
+    /// Requests cancellation of `id` at the engine's next serialization
+    /// point. Callable from any thread; never blocks on engine work.
+    pub fn cancel(&self, id: RequestId) {
+        self.inner
+            .lock()
+            .expect("cancel signal lock poisoned")
+            .push(id);
+    }
+
+    /// Number of signalled cancellations not yet applied by the engine.
+    pub fn pending(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("cancel signal lock poisoned")
+            .len()
+    }
+
+    /// Takes every signalled id, in signalling order.
+    fn take(&self) -> Vec<RequestId> {
+        std::mem::take(&mut *self.inner.lock().expect("cancel signal lock poisoned"))
     }
 }
 
@@ -596,6 +710,14 @@ pub struct Engine<'m> {
     stats: ServerStats,
     events: VecDeque<Event>,
     record_events: bool,
+    /// Cap on *buffered* (undrained) events per request (`None` = unbounded).
+    event_buffer_limit: Option<usize>,
+    /// Events dropped to the per-request buffer cap, total.
+    events_dropped: usize,
+    /// Events dropped per request, cumulative over the engine's lifetime.
+    events_dropped_by_request: HashMap<RequestId, usize>,
+    /// Cross-thread cancellation mailbox; see [`CancelSignal`].
+    cancel_signal: CancelSignal,
 }
 
 impl<'m> Engine<'m> {
@@ -645,6 +767,10 @@ impl<'m> Engine<'m> {
             stats: ServerStats::default(),
             events: VecDeque::new(),
             record_events: true,
+            event_buffer_limit: None,
+            events_dropped: 0,
+            events_dropped_by_request: HashMap::new(),
+            cancel_signal: CancelSignal::default(),
         })
     }
 
@@ -867,6 +993,46 @@ impl<'m> Engine<'m> {
         self.events.len()
     }
 
+    /// Caps how many events may sit *buffered* (undrained) per request
+    /// (`None`, the default, is unbounded). When a request's buffer is full,
+    /// emitting a new event drops that request's **oldest non-terminal**
+    /// buffered event first — a slow or absent reader loses the oldest
+    /// tokens, never the terminal — and the drop is counted in
+    /// [`Engine::events_dropped`] / [`Engine::events_dropped_for`]. This is
+    /// the backpressure story for long-lived streams: without a cap, a
+    /// never-drained handle grows the buffer by one event per token forever.
+    ///
+    /// A cap of 0 is treated as 1: the terminal event is always retained.
+    pub fn set_event_buffer_limit(&mut self, limit: Option<usize>) {
+        self.event_buffer_limit = limit.map(|cap| cap.max(1));
+    }
+
+    /// The per-request buffered-event cap, when one is set.
+    pub fn event_buffer_limit(&self) -> Option<usize> {
+        self.event_buffer_limit
+    }
+
+    /// Events dropped to the per-request buffer cap over the engine's
+    /// lifetime (0 unless [`Engine::set_event_buffer_limit`] was used and a
+    /// reader fell behind).
+    pub fn events_dropped(&self) -> usize {
+        self.events_dropped
+    }
+
+    /// Events of `id` dropped to the per-request buffer cap, cumulative.
+    pub fn events_dropped_for(&self, id: RequestId) -> usize {
+        self.events_dropped_by_request
+            .get(&id)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// A clonable, thread-safe cancellation mailbox for this engine; see
+    /// [`CancelSignal`].
+    pub fn cancel_signal(&self) -> CancelSignal {
+        self.cancel_signal.clone()
+    }
+
     /// Drains every buffered event, in emission order.
     pub fn drain_events(&mut self) -> Vec<Event> {
         self.events.drain(..).collect()
@@ -888,13 +1054,31 @@ impl<'m> Engine<'m> {
     }
 
     fn emit(&mut self, id: RequestId, kind: EventKind) {
-        if self.record_events {
-            self.events.push_back(Event {
-                id,
-                step: self.step,
-                kind,
-            });
+        if !self.record_events {
+            return;
         }
+        if let Some(cap) = self.event_buffer_limit {
+            let buffered = self.events.iter().filter(|e| e.id == id).count();
+            if buffered >= cap {
+                // Overflow: make room by dropping this request's oldest
+                // non-terminal buffered event (terminals are never dropped;
+                // at most one exists, so room can always be made).
+                if let Some(pos) = self
+                    .events
+                    .iter()
+                    .position(|e| e.id == id && !e.kind.is_terminal())
+                {
+                    self.events.remove(pos);
+                    self.events_dropped += 1;
+                    *self.events_dropped_by_request.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+        self.events.push_back(Event {
+            id,
+            step: self.step,
+            kind,
+        });
     }
 
     /// Enqueues a request with default [`SubmitOptions`] (priority 0, no
@@ -1390,7 +1574,39 @@ impl<'m> Engine<'m> {
         self.emit(id, kind);
     }
 
-    fn decode_round(&mut self) -> usize {
+    /// Retires the finished running session at `idx` into a [`Completion`],
+    /// returning its reservation (its blocks return when the session drops).
+    fn retire_completed(&mut self, idx: usize) {
+        let mut done = self.running.remove(idx);
+        self.pool.unreserve(done.reserved_blocks);
+        let output = done
+            .session
+            .take_output()
+            .expect("finished session has an output");
+        let id = done.id();
+        self.emit(
+            id,
+            EventKind::Completed {
+                tokens: output.generated.len(),
+            },
+        );
+        // Dropping the session below returns its blocks to the pool.
+        self.completed.push(Completion {
+            id,
+            prefix_tokens_reused: done.session.prefix_tokens_reused(),
+            first_token_step: done.token_steps.first().copied(),
+            token_steps: std::mem::take(&mut done.token_steps),
+            output,
+            submitted_step: done.submitted_step,
+            admitted_step: done.admitted_step,
+            completed_step: self.step,
+        });
+    }
+
+    /// The sequential decode round: each session steps, surfaces and (when
+    /// finished) retires in turn, exactly the `decode_workers = 1` semantics
+    /// every parallel round must reproduce observably.
+    fn decode_round_sequential(&mut self) -> usize {
         let mut executed = 0;
         let mut i = 0;
         while i < self.running.len() {
@@ -1417,33 +1633,182 @@ impl<'m> Engine<'m> {
             if self.running[i].session.is_decoding() {
                 i += 1;
             } else {
-                let mut done = self.running.remove(i);
-                self.pool.unreserve(done.reserved_blocks);
-                let output = done
-                    .session
-                    .take_output()
-                    .expect("finished session has an output");
-                let id = done.id();
-                self.emit(
-                    id,
-                    EventKind::Completed {
-                        tokens: output.generated.len(),
-                    },
-                );
-                // Dropping the session below returns its blocks to the pool.
-                self.completed.push(Completion {
-                    id,
-                    prefix_tokens_reused: done.session.prefix_tokens_reused(),
-                    first_token_step: done.token_steps.first().copied(),
-                    token_steps: std::mem::take(&mut done.token_steps),
-                    output,
-                    submitted_step: done.submitted_step,
-                    admitted_step: done.admitted_step,
-                    completed_step: self.step,
-                });
+                self.retire_completed(i);
             }
         }
         executed
+    }
+
+    /// **Plan** phase of a parallel decode round: which running sessions take
+    /// a decode token, decided serially before any forward pass runs. A
+    /// session mid-prefill (or already drained) is skipped, exactly as in the
+    /// sequential round; a session cannot change phase under it because
+    /// execution only ever calls [`Session::step`] on planned entries.
+    fn plan_decode(&self) -> Vec<bool> {
+        self.running
+            .iter()
+            .map(|r| r.session.is_decoding())
+            .collect()
+    }
+
+    /// Workers the planned round may actually use: the configured count,
+    /// clamped to 1 by the copy-on-write determinism gate. A *budgeted*
+    /// session still mapping shared prefix blocks may CoW-fork inside them
+    /// this very step, and the fork's `Arc::strong_count` probe must observe
+    /// its neighbours' releases in sequential order to fork (and count
+    /// allocations) identically — so such rounds run sequentially. Unbudgeted
+    /// sessions never write inside attached blocks and stay parallel.
+    fn decode_parallelism(&self, plan: &[bool]) -> usize {
+        let workers = self.config.decode_workers;
+        if workers <= 1 {
+            return 1;
+        }
+        let fork_risky = self.running.iter().zip(plan).any(|(r, &planned)| {
+            planned
+                && r.request.effective_budget(self.config.budget).is_some()
+                && r.session.cache().shared_block_count() > 0
+        });
+        if fork_risky {
+            1
+        } else {
+            workers
+        }
+    }
+
+    /// **Execute** phase: runs [`Session::step`] for every planned session on
+    /// up to `workers` scoped threads, returning one result slot per running
+    /// session (`None` for unplanned entries). Threads pull jobs off a shared
+    /// cursor — work-stealing over a mutex-per-job, no unsafe — and nothing
+    /// here touches scheduler state: sessions only race on the block pool's
+    /// internal mutex, whose counts are allocation-order-independent.
+    #[allow(clippy::type_complexity)]
+    fn execute_decode(
+        &mut self,
+        plan: &[bool],
+        workers: usize,
+    ) -> Vec<Option<Result<SessionStep, CoreError>>> {
+        struct Job<'a, 'm> {
+            slot: usize,
+            session: &'a mut Session<'m>,
+            result: Option<Result<SessionStep, CoreError>>,
+        }
+        let mut results: Vec<Option<Result<SessionStep, CoreError>>> =
+            plan.iter().map(|_| None).collect();
+        let jobs: Vec<Mutex<Job<'_, 'm>>> = self
+            .running
+            .iter_mut()
+            .enumerate()
+            .filter(|&(i, _)| plan[i])
+            .map(|(i, r)| {
+                Mutex::new(Job {
+                    slot: i,
+                    session: &mut r.session,
+                    result: None,
+                })
+            })
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(jobs.len()) {
+                scope.spawn(|| loop {
+                    let next = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(next) else { break };
+                    let mut job = job.lock().expect("decode job lock poisoned");
+                    let result = job.session.step();
+                    job.result = Some(result);
+                });
+            }
+        });
+        for job in jobs {
+            let job = job.into_inner().expect("decode job lock poisoned");
+            results[job.slot] = job.result;
+        }
+        results
+    }
+
+    /// **Commit** phase: replays the executed results in plan order —
+    /// surfacing tokens, retiring completions and failures — so events and
+    /// retirement order are byte-identical to the sequential round. `doomed`
+    /// carries cancellations signalled between plan and commit: such a
+    /// request retires as [`EventKind::Cancelled`] *before* its freshly
+    /// computed token would surface (the result is discarded and not counted
+    /// as a decode step), its blocks and reservation return, and nothing
+    /// follows the terminal event.
+    fn commit_decode(
+        &mut self,
+        results: Vec<Option<Result<SessionStep, CoreError>>>,
+        doomed: &[RequestId],
+    ) -> usize {
+        let mut executed = 0;
+        let mut handled: Vec<RequestId> = Vec::new();
+        let mut i = 0;
+        for result in results {
+            let Some(result) = result else {
+                i += 1;
+                continue;
+            };
+            let id = self.running[i].id();
+            if doomed.contains(&id) && !handled.contains(&id) {
+                let running = self.running.remove(i);
+                self.pool.unreserve(running.reserved_blocks);
+                // Dropping the session releases its blocks; the computed
+                // token is discarded unsurfaced.
+                drop(running);
+                self.stats.cancelled += 1;
+                self.failed.push(FailedRequest {
+                    id,
+                    reason: FailureReason::Cancelled,
+                    step: self.step,
+                });
+                self.emit(id, EventKind::Cancelled);
+                handled.push(id);
+                continue;
+            }
+            match result {
+                Ok(produced) => {
+                    executed += 1;
+                    self.stats.decode_steps += 1;
+                    self.surface_token(i, produced);
+                    if self.running[i].session.is_decoding() {
+                        i += 1;
+                    } else {
+                        self.retire_completed(i);
+                    }
+                }
+                Err(e) => {
+                    let running = self.running.remove(i);
+                    self.pool.unreserve(running.reserved_blocks);
+                    self.fail(running.id(), FailureReason::Engine(e));
+                }
+            }
+        }
+        // Signalled ids not caught mid-round (queued, prefilling, or already
+        // past this round's plan) cancel through the ordinary path.
+        for &id in doomed {
+            if !handled.contains(&id) && self.cancel(id) {
+                handled.push(id);
+            }
+        }
+        executed
+    }
+
+    /// One decode round: sequential when `decode_workers` is 1 (or the CoW
+    /// determinism gate trips), otherwise plan → parallel-execute →
+    /// serialized-commit. Both paths drain [`CancelSignal`] mailbox entries
+    /// at their serialization points.
+    fn decode_round(&mut self) -> usize {
+        let plan = self.plan_decode();
+        let workers = self.decode_parallelism(&plan);
+        if workers <= 1 {
+            let executed = self.decode_round_sequential();
+            for id in self.cancel_signal.take() {
+                self.cancel(id);
+            }
+            return executed;
+        }
+        let results = self.execute_decode(&plan, workers);
+        let doomed = self.cancel_signal.take();
+        self.commit_decode(results, &doomed)
     }
 
     /// Runs one batched scheduler step — deadline expiry, prefill
@@ -1453,6 +1818,12 @@ impl<'m> Engine<'m> {
     /// every transition are buffered for [`Engine::drain_events`].
     pub fn step(&mut self) -> StepReport {
         self.step += 1;
+        // Cancellations signalled since the last serialization point apply
+        // before any scheduling work (the other drain point sits between a
+        // parallel round's execute and commit phases).
+        for id in self.cancel_signal.take() {
+            self.cancel(id);
+        }
         let completed_before = self.completed.len();
         let failed_before = self.failed.len();
         let preempted_before = self.stats.preemptions;
@@ -2026,6 +2397,210 @@ mod tests {
         );
         // The urgent request finished first, undisturbed.
         assert_eq!(engine.completions()[0].id.raw(), 0);
+    }
+
+    #[test]
+    fn decode_workers_zero_is_rejected_and_defaults_to_sequential() {
+        let model = ModelFamily::Tiny.build(29);
+        let bytes = model.empty_cache().bytes_per_token();
+        let config = ServerConfig::new(
+            PolicySpec::keyformer_default(),
+            Some(CacheBudgetSpec::new(0.5, 0.3).unwrap()),
+            64 * bytes,
+        )
+        .with_decode_workers(0);
+        assert!(Engine::new(&model, config).is_err());
+        let default = ServerConfig::new(PolicySpec::keyformer_default(), None, 64 * bytes);
+        assert_eq!(default.decode_workers, 1);
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_token_for_token() {
+        let model = ModelFamily::Tiny.build(41);
+        let bytes = model.empty_cache().bytes_per_token();
+        let base = ServerConfig::new(
+            PolicySpec::keyformer_default(),
+            Some(CacheBudgetSpec::new(0.5, 0.3).unwrap()),
+            256 * bytes,
+        )
+        .with_block_size(4)
+        .with_prefill_chunk(5);
+        let run = |workers: usize| {
+            let mut engine = Engine::new(&model, base.with_decode_workers(workers)).unwrap();
+            for i in 0..4u64 {
+                engine
+                    .submit(Request::new(
+                        i,
+                        prompt(18, i as u32),
+                        GenerationConfig::new(6),
+                    ))
+                    .unwrap();
+            }
+            engine.run(10_000);
+            assert!(engine.is_idle());
+            (
+                engine.completions().to_vec(),
+                engine.drain_events(),
+                *engine.stats(),
+                engine.pool_stats(),
+            )
+        };
+        let (seq_done, seq_events, seq_stats, seq_pool) = run(1);
+        for workers in [2, 4, 8] {
+            let (done, events, stats, pool) = run(workers);
+            assert_eq!(done, seq_done, "{workers} workers: completions diverged");
+            assert_eq!(events, seq_events, "{workers} workers: events diverged");
+            assert_eq!(stats, seq_stats, "{workers} workers: stats diverged");
+            // Live allocator state and churn totals are deterministic; only
+            // the transient high-water marks may differ under parallelism.
+            assert_eq!(pool.in_use, seq_pool.in_use);
+            assert_eq!(pool.reserved, seq_pool.reserved);
+            assert_eq!(pool.total_allocs, seq_pool.total_allocs);
+            assert_eq!(pool.total_frees, seq_pool.total_frees);
+        }
+    }
+
+    /// The cancel-races-parallel-step contract, deterministically: a
+    /// cancellation signalled *between* the execute and commit phases retires
+    /// the request exactly once, returns its blocks and reservation, and
+    /// emits nothing after the terminal `Cancelled` — the freshly computed
+    /// token is discarded unsurfaced.
+    #[test]
+    fn cancel_signalled_between_plan_and_commit_retires_exactly_once() {
+        let model = ModelFamily::Tiny.build(43);
+        let bytes = model.empty_cache().bytes_per_token();
+        let mut engine = Engine::new(
+            &model,
+            ServerConfig::new(
+                PolicySpec::keyformer_default(),
+                Some(CacheBudgetSpec::new(0.5, 0.3).unwrap()),
+                256 * bytes,
+            )
+            .with_block_size(4)
+            .with_decode_workers(4),
+        )
+        .unwrap();
+        let doomed = engine
+            .submit(Request::new(0, prompt(16, 0), GenerationConfig::new(12)))
+            .unwrap();
+        let survivor = engine
+            .submit(Request::new(1, prompt(16, 1), GenerationConfig::new(12)))
+            .unwrap();
+        // Admit both and surface their first tokens.
+        engine.step();
+        engine.step();
+        assert_eq!(engine.running(), 2);
+        let signal = engine.cancel_signal();
+
+        // Drive the round stage by stage: plan, execute, *then* signal the
+        // cancellation, then commit — the exact window the signal exists for.
+        engine.step += 1;
+        let plan = engine.plan_decode();
+        assert_eq!(plan, vec![true, true]);
+        let workers = engine.decode_parallelism(&plan);
+        assert!(workers > 1, "gate must not trip: all blocks are private");
+        let results = engine.execute_decode(&plan, workers);
+        assert!(results.iter().all(|r| matches!(r, Some(Ok(_)))));
+        signal.cancel(doomed.id());
+        let taken = engine.cancel_signal.take();
+        let executed = engine.commit_decode(results, &taken);
+
+        // Only the survivor's token was surfaced or counted.
+        assert_eq!(executed, 1);
+        assert_eq!(engine.running(), 1);
+        assert_eq!(engine.failures().len(), 1);
+        assert_eq!(engine.failures()[0].id, doomed.id());
+        assert!(matches!(
+            engine.failures()[0].reason,
+            FailureReason::Cancelled
+        ));
+        assert_eq!(engine.stats().cancelled, 1);
+        let events = engine.drain_events_for(doomed.id());
+        let terminal = check_well_formed(&events);
+        assert_eq!(terminal.kind, EventKind::Cancelled);
+        // A second cancel (signalled or direct) is a no-op: retired once.
+        signal.cancel(doomed.id());
+        engine.step();
+        assert_eq!(engine.stats().cancelled, 1, "double retirement");
+        assert!(!engine.cancel(doomed.id()));
+        // The survivor still drains to completion and nothing leaked.
+        engine.run(10_000);
+        assert!(engine.is_idle());
+        assert_eq!(engine.completions().len(), 1);
+        assert_eq!(engine.completions()[0].id, survivor.id());
+        assert_eq!(engine.pool().blocks_in_use(), 0, "cancelled blocks leaked");
+        assert_eq!(engine.pool().blocks_reserved(), 0, "reservation leaked");
+    }
+
+    #[test]
+    fn cancel_signal_applies_at_the_top_of_the_next_step() {
+        let model = ModelFamily::Tiny.build(44);
+        let mut engine = keyformer_engine(&model, 256);
+        let handle = engine
+            .submit(Request::new(0, prompt(16, 0), GenerationConfig::new(8)))
+            .unwrap();
+        let signal = engine.cancel_signal();
+        engine.step();
+        // Signalled from "elsewhere" between steps (same thread here; the
+        // mailbox is Send + Sync and the property suite exercises the real
+        // cross-thread race).
+        signal.cancel(handle.id());
+        assert_eq!(signal.pending(), 1);
+        engine.step();
+        assert_eq!(signal.pending(), 0);
+        assert!(engine.is_idle());
+        let events = engine.drain_events_for(handle.id());
+        assert_eq!(events.last().unwrap().kind, EventKind::Cancelled);
+        assert_eq!(engine.pool().blocks_in_use(), 0);
+    }
+
+    /// PR 5 follow-up regression: with a per-request buffer cap, a reader
+    /// that never drains loses the *oldest* non-terminal events — counted,
+    /// never silently — and always keeps the terminal.
+    #[test]
+    fn bounded_event_buffers_drop_oldest_and_account_for_overflow() {
+        let model = ModelFamily::Tiny.build(45);
+        let mut engine = keyformer_engine(&model, 256);
+        engine.set_event_buffer_limit(Some(4));
+        assert_eq!(engine.event_buffer_limit(), Some(4));
+        let gen = 12;
+        let handle = engine
+            .submit(Request::new(0, prompt(16, 0), GenerationConfig::new(gen)))
+            .unwrap();
+        engine.run(10_000);
+        assert!(engine.is_idle());
+        let events = engine.drain_events_for(handle.id());
+        assert_eq!(events.len(), 4, "buffer respected the cap");
+        assert_eq!(
+            events.last().unwrap().kind,
+            EventKind::Completed { tokens: gen },
+            "the terminal is never dropped"
+        );
+        // Accounting closes the books: emitted = buffered + dropped.
+        // Emitted: Queued, PrefillStarted, FirstToken, gen-1 Tokens, Completed.
+        let emitted = 3 + (gen - 1) + 1;
+        let dropped = engine.events_dropped_for(handle.id());
+        assert_eq!(events.len() + dropped, emitted);
+        assert_eq!(engine.events_dropped(), dropped);
+        // The survivors are the *newest* events: the tail of the token
+        // stream, in order, capped by the terminal.
+        let tokens: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Token { index, .. } => Some(index),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tokens, vec![gen - 3, gen - 2, gen - 1]);
+
+        // An unbounded engine drops nothing (the pre-cap behaviour).
+        let mut unbounded = keyformer_engine(&model, 256);
+        let h = unbounded
+            .submit(Request::new(0, prompt(16, 0), GenerationConfig::new(gen)))
+            .unwrap();
+        unbounded.run(10_000);
+        assert_eq!(unbounded.events_dropped(), 0);
+        assert_eq!(unbounded.drain_events_for(h.id()).len(), emitted);
     }
 
     #[test]

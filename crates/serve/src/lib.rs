@@ -65,8 +65,8 @@ pub mod request;
 pub mod server;
 
 pub use engine::{
-    AdmissionOrder, Engine, EngineConfig, Event, EventKind, RequestHandle, ServerConfig,
-    ServerStats, StepReport, DEFAULT_SERVE_BLOCK_SIZE, PRIORITY_AGING_STEPS,
+    AdmissionOrder, CancelSignal, Engine, EngineConfig, Event, EventKind, RequestHandle,
+    ServerConfig, ServerStats, StepReport, DEFAULT_SERVE_BLOCK_SIZE, PRIORITY_AGING_STEPS,
     SPF_AGING_TOKENS_PER_STEP,
 };
 pub use request::{

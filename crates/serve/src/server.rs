@@ -21,6 +21,11 @@
 //!   server for millions of steps without draining anything never grows a
 //!   buffer.
 //!
+//! The facade inherits the engine's plan → execute → commit decode pipeline
+//! unchanged: [`ServerConfig::with_decode_workers`] widens the per-step
+//! worker pool and the completions stay byte-identical at any width (the
+//! scheduler itself stays serialized — see the [`Engine`] docs).
+//!
 //! New code that wants streaming per-token [`crate::Event`]s, mid-flight
 //! [`Engine::cancel`], [`crate::SubmitOptions`] priorities or deadlines
 //! should use [`Engine`] directly (`docs/SERVING.md` has a migration note);

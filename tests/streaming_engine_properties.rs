@@ -26,6 +26,14 @@ use keyformer::serve::{
 };
 use proptest::prelude::*;
 
+/// Worker-pool width these properties run the engine with: `KF_DECODE_WORKERS`
+/// when set (CI runs the suite a second time at 4), sequential otherwise.
+/// Every invariant here must hold at any width — parallel decode is an
+/// invisible optimization.
+fn decode_workers() -> usize {
+    ServerConfig::decode_workers_from_env().unwrap_or(1)
+}
+
 /// The whole policy zoo, each with the budget the experiments run it under
 /// (`None` only for the full-attention baseline).
 fn policy_zoo() -> Vec<(PolicySpec, Option<CacheBudgetSpec>)> {
@@ -100,7 +108,8 @@ proptest! {
                 let config = ServerConfig::new(policy, budget, pool_slots * bytes_per_token)
                     .with_block_size(4)
                     .with_prefill_chunk(chunk)
-                    .with_prefix_sharing(sharing);
+                    .with_prefix_sharing(sharing)
+                    .with_decode_workers(decode_workers());
                 let label = format!("{} (sharing={sharing})", policy.label());
 
                 let mut server = Server::new(&model, config).unwrap();
@@ -179,7 +188,8 @@ proptest! {
             )
             .with_block_size(4)
             .with_prefill_chunk(3)
-            .with_prefix_sharing(sharing);
+            .with_prefix_sharing(sharing)
+            .with_decode_workers(decode_workers());
             let mut engine = Engine::new(&model, config).unwrap();
             let requests = shared_prefix_requests(4, 12, prompt_len, gen_tokens, seed);
 
@@ -272,7 +282,8 @@ proptest! {
                 pool_slots * bytes_per_token,
             )
             .with_block_size(4)
-            .with_prefill_chunk(4),
+            .with_prefill_chunk(4)
+            .with_decode_workers(decode_workers()),
         )
         .unwrap();
         let mut submitted: Vec<RequestId> = Vec::new();
@@ -367,7 +378,8 @@ fn cancelling_a_preempted_request_leaks_nothing() {
         ServerConfig::new(PolicySpec::keyformer_default(), Some(budget), 28 * bytes)
             .with_block_size(4)
             .with_prefill_chunk(4)
-            .with_strict_pool(true),
+            .with_strict_pool(true)
+            .with_decode_workers(decode_workers()),
     )
     .unwrap();
     engine
