@@ -346,6 +346,40 @@ impl BlockPool {
         Ok(())
     }
 
+    /// Atomic copy-on-write fork probe: decides in one step whether a writer
+    /// mapping `old` needs a private copy, and if so allocates the replacement
+    /// block and releases the writer's mapping of `old`.
+    ///
+    /// Returns `Ok(None)` when `old` is privately mapped (refcount 1) — the
+    /// caller may write in place. Returns `Ok(Some(new_id))` when `old` is
+    /// shared: the caller now owns `new_id` and no longer maps `old` (whose
+    /// refcount was above 1, so it is never freed here). Doing both sides of
+    /// the decision under one pool lock acquisition is what lets concurrent
+    /// decode threads race writes to a shared block safely: the lock
+    /// linearizes the probes, so exactly one racer can observe the block
+    /// private.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidBlock`] if `old` is not currently allocated
+    /// and [`CoreError::PoolExhausted`] if the fork needs a block a strict pool
+    /// does not have; the pool is left untouched either way.
+    pub fn fork_block(&mut self, old: BlockId) -> Result<Option<BlockId>, CoreError> {
+        match self.refcounts.get(old.0 as usize).copied() {
+            None | Some(0) => Err(CoreError::InvalidBlock {
+                id: old.0,
+                op: "fork",
+            }),
+            Some(1) => Ok(None),
+            Some(_) => {
+                let new_id = self.alloc()?;
+                self.release(old)
+                    .expect("shared block stays allocated during fork");
+                Ok(Some(new_id))
+            }
+        }
+    }
+
     /// Current refcount of a block (0 when free).
     pub fn refcount(&self, id: BlockId) -> u32 {
         self.refcounts.get(id.0 as usize).copied().unwrap_or(0)
@@ -518,6 +552,19 @@ impl SharedBlockPool {
         self.lock().release(id)
     }
 
+    /// See [`BlockPool::fork_block`]. The probe-allocate-release sequence runs
+    /// under a single lock acquisition, which is what makes concurrent
+    /// copy-on-write decisions race-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidBlock`] if `old` is not currently allocated
+    /// and [`CoreError::PoolExhausted`] if a strict pool cannot supply the
+    /// fork's block.
+    pub fn fork_block(&self, old: BlockId) -> Result<Option<BlockId>, CoreError> {
+        self.lock().fork_block(old)
+    }
+
     /// See [`BlockPool::refcount`].
     pub fn refcount(&self, id: BlockId) -> u32 {
         self.lock().refcount(id)
@@ -611,6 +658,44 @@ mod tests {
         assert_eq!(pool.stats().peak_overshoot(), 1);
         pool.release(b).unwrap();
         assert_eq!(pool.stats().peak_overshoot(), 1, "high-water is sticky");
+    }
+
+    #[test]
+    fn fork_block_probes_and_forks_atomically() {
+        let mut pool = BlockPool::unbounded(8);
+        let a = pool.alloc().unwrap();
+        // Privately mapped: write in place, pool untouched.
+        assert_eq!(pool.fork_block(a).unwrap(), None);
+        assert_eq!(pool.blocks_in_use(), 1);
+        // Shared: the writer gets a fresh block and drops its mapping of `a`.
+        pool.retain(a).unwrap();
+        let forked = pool.fork_block(a).unwrap().expect("shared block forks");
+        assert_ne!(forked, a);
+        assert_eq!(pool.refcount(a), 1, "other holder keeps the original");
+        assert_eq!(pool.refcount(forked), 1);
+        assert_eq!(pool.blocks_in_use(), 2);
+        // Unknown / freed blocks are rejected without touching the pool.
+        pool.release(a).unwrap();
+        assert!(matches!(
+            pool.fork_block(a),
+            Err(CoreError::InvalidBlock { op: "fork", .. })
+        ));
+    }
+
+    #[test]
+    fn fork_block_respects_strict_capacity() {
+        let mut pool = BlockPool::bounded(4, 2, OvercommitPolicy::Strict).unwrap();
+        let a = pool.alloc().unwrap();
+        let _b = pool.alloc().unwrap();
+        pool.retain(a).unwrap();
+        // No block left for the private copy: the fork fails and the shared
+        // mapping is left exactly as it was.
+        assert!(matches!(
+            pool.fork_block(a),
+            Err(CoreError::PoolExhausted { .. })
+        ));
+        assert_eq!(pool.refcount(a), 2);
+        assert_eq!(pool.blocks_in_use(), 2);
     }
 
     #[test]

@@ -34,40 +34,274 @@
 //! other reader (a forked session, a registered prefix) keeps seeing the
 //! original bytes, which is what lets the whole eviction-policy zoo run
 //! unchanged on shared storage.
+//!
+//! ## Quantized storage
+//!
+//! Each layer carries a [`KvDtype`]: at the default [`KvDtype::F32`] block
+//! payloads are plain `f32` matrices and every read is a borrow; at
+//! [`KvDtype::U8`] a block's rows are stored as `u8` codes under a per-block,
+//! per-tensor affine map `f = (q - zero_point) * scale`. Quantization happens
+//! when a block *seals* — fills its last row — so the partially-filled tail
+//! block stays `f32` and appends never requantize earlier rows. Reads
+//! dequantize on the fly: [`KvSlice::row`] hands out a [`Cow`] (borrowed for
+//! `f32`, a dequantized copy of one row for `u8`) and [`KvSlice::vecmat`]
+//! fuses dequantization into the accumulation so attention never materializes
+//! an `f32` copy of a block. Compaction unseals the blocks it rewrites,
+//! moves rows in `f32`, and reseals the full ones with fresh parameters;
+//! untouched shared blocks keep their sealed payload byte-identical, which is
+//! what keeps copy-on-write sharing and the prefix registry dtype-oblivious.
 
 use crate::block::{BlockId, SharedBlockPool, DEFAULT_BLOCK_SIZE};
 use crate::CoreError;
 use keyformer_tensor::{Matrix, TensorError};
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::sync::Arc;
 
-/// The payload of one fixed-size block: per-head key/value rows for one layer.
+/// Storage precision of a layer's KV block payloads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KvDtype {
+    /// Full-precision `f32` rows — the default, bit-identical to the
+    /// pre-quantization backend.
+    #[default]
+    F32,
+    /// `u8` codes under a per-block, per-tensor affine map. Four bytes of KV
+    /// become one; sealed blocks carry `(scale, zero_point)` pairs for keys
+    /// and values.
+    U8,
+}
+
+impl KvDtype {
+    /// Bytes one stored key/value element occupies.
+    pub fn bytes_per_value(self) -> usize {
+        match self {
+            KvDtype::F32 => 4,
+            KvDtype::U8 => 1,
+        }
+    }
+
+    /// Short stable label (`"f32"` / `"u8"`) for tables and JSON artefacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            KvDtype::F32 => "f32",
+            KvDtype::U8 => "u8",
+        }
+    }
+}
+
+/// Affine quantization parameters of one tensor (keys or values) of one
+/// sealed block: `f ≈ (q - zero_point) * scale` with `q` in `0..=255`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Affine {
+    scale: f32,
+    zero_point: f32,
+}
+
+impl Affine {
+    /// Parameters covering `[min, max]` exactly: `min` maps to code 0 and
+    /// `max` to code 255. A degenerate range gets `scale = 1`, which encodes
+    /// the constant exactly.
+    fn for_range(min: f32, max: f32) -> Affine {
+        let scale = if max > min { (max - min) / 255.0 } else { 1.0 };
+        Affine {
+            scale,
+            zero_point: -min / scale,
+        }
+    }
+
+    /// Parameters covering every element yielded by `data` (empty input gets
+    /// the degenerate identity map).
+    fn for_values<'a>(data: impl Iterator<Item = &'a f32>) -> Affine {
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &x in data {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        if min > max {
+            return Affine::for_range(0.0, 0.0);
+        }
+        Affine::for_range(min, max)
+    }
+
+    #[inline]
+    fn quantize(&self, f: f32) -> u8 {
+        (f / self.scale + self.zero_point).round().clamp(0.0, 255.0) as u8
+    }
+
+    #[inline]
+    fn dequantize(&self, q: u8) -> f32 {
+        (f32::from(q) - self.zero_point) * self.scale
+    }
+}
+
+/// The payload of one fixed-size block: per-head key/value rows for one layer,
+/// stored either full-precision or as sealed `u8` codes.
 #[derive(Debug, Clone)]
-pub(crate) struct KvBlockData {
-    /// Per head: up to `block_size` key rows of width `head_dim`.
-    keys: Vec<Matrix>,
-    /// Per head: up to `block_size` value rows of width `head_dim`.
-    values: Vec<Matrix>,
+pub(crate) enum KvBlockData {
+    /// Full-precision rows. Also the staging representation of a `u8` layer's
+    /// partially-filled tail block, which seals once it fills.
+    F32 {
+        /// Per head: up to `block_size` key rows of width `head_dim`.
+        keys: Vec<Matrix>,
+        /// Per head: up to `block_size` value rows of width `head_dim`.
+        values: Vec<Matrix>,
+    },
+    /// A sealed block: `u8` codes with one affine map for all key rows and one
+    /// for all value rows (per-block, per-tensor quantization).
+    U8 {
+        /// Per head: `rows * head_dim` key codes, row-major.
+        keys: Vec<Vec<u8>>,
+        /// Per head: `rows * head_dim` value codes, row-major.
+        values: Vec<Vec<u8>>,
+        rows: usize,
+        head_dim: usize,
+        key_map: Affine,
+        value_map: Affine,
+    },
 }
 
 impl KvBlockData {
     fn new(num_heads: usize) -> Self {
-        KvBlockData {
+        KvBlockData::F32 {
             keys: (0..num_heads).map(|_| Matrix::zeros(0, 0)).collect(),
             values: (0..num_heads).map(|_| Matrix::zeros(0, 0)).collect(),
         }
     }
 
     fn byte_size(&self) -> usize {
-        self.keys
-            .iter()
-            .chain(self.values.iter())
-            .map(Matrix::byte_size)
-            .sum()
+        match self {
+            KvBlockData::F32 { keys, values } => keys
+                .iter()
+                .chain(values.iter())
+                .map(Matrix::byte_size)
+                .sum(),
+            KvBlockData::U8 { keys, values, .. } => {
+                keys.iter().chain(values.iter()).map(Vec::len).sum()
+            }
+        }
     }
 
     /// Rows currently held (identical across heads and keys/values).
     fn rows(&self) -> usize {
-        self.keys.first().map_or(0, Matrix::rows)
+        match self {
+            KvBlockData::F32 { keys, .. } => keys.first().map_or(0, Matrix::rows),
+            KvBlockData::U8 { rows, .. } => *rows,
+        }
+    }
+
+    fn num_heads(&self) -> usize {
+        match self {
+            KvBlockData::F32 { keys, .. } => keys.len(),
+            KvBlockData::U8 { keys, .. } => keys.len(),
+        }
+    }
+
+    fn head_dim(&self) -> usize {
+        match self {
+            KvBlockData::F32 { keys, .. } => keys.first().map_or(0, |m| m.shape().1),
+            KvBlockData::U8 { head_dim, .. } => *head_dim,
+        }
+    }
+
+    /// The precision this payload is currently stored at. A `u8` layer's
+    /// unsealed tail block reports [`KvDtype::F32`] — that is its physical
+    /// representation until it seals.
+    fn storage_dtype(&self) -> KvDtype {
+        match self {
+            KvBlockData::F32 { .. } => KvDtype::F32,
+            KvBlockData::U8 { .. } => KvDtype::U8,
+        }
+    }
+
+    /// One row of one head's keys or values, dequantized if sealed.
+    fn row(&self, component: KvComponent, head: usize, row: usize) -> Cow<'_, [f32]> {
+        match self {
+            KvBlockData::F32 { keys, values } => {
+                let m = match component {
+                    KvComponent::Keys => &keys[head],
+                    KvComponent::Values => &values[head],
+                };
+                Cow::Borrowed(m.row(row))
+            }
+            KvBlockData::U8 {
+                keys,
+                values,
+                head_dim,
+                key_map,
+                value_map,
+                ..
+            } => {
+                let (codes, map) = match component {
+                    KvComponent::Keys => (&keys[head], key_map),
+                    KvComponent::Values => (&values[head], value_map),
+                };
+                let row = &codes[row * head_dim..(row + 1) * head_dim];
+                Cow::Owned(row.iter().map(|&q| map.dequantize(q)).collect())
+            }
+        }
+    }
+
+    /// Quantizes a full-precision payload in place (no-op when already
+    /// sealed). Per-tensor: one affine map covers every key row of every
+    /// head, another every value row.
+    fn seal(&mut self) {
+        let KvBlockData::F32 { keys, values } = self else {
+            return;
+        };
+        let rows = keys.first().map_or(0, Matrix::rows);
+        let head_dim = keys.first().map_or(0, |m| m.shape().1);
+        let key_map = Affine::for_values(keys.iter().flat_map(|m| m.as_slice().iter()));
+        let value_map = Affine::for_values(values.iter().flat_map(|m| m.as_slice().iter()));
+        let quantize = |ms: &[Matrix], map: &Affine| -> Vec<Vec<u8>> {
+            ms.iter()
+                .map(|m| m.as_slice().iter().map(|&f| map.quantize(f)).collect())
+                .collect()
+        };
+        *self = KvBlockData::U8 {
+            keys: quantize(keys, &key_map),
+            values: quantize(values, &value_map),
+            rows,
+            head_dim,
+            key_map,
+            value_map,
+        };
+    }
+
+    /// Dequantizes a sealed payload back to full-precision staging (no-op
+    /// when already `f32`) so compaction can rewrite rows.
+    fn unseal(&mut self) {
+        let KvBlockData::U8 {
+            keys,
+            values,
+            rows,
+            head_dim,
+            key_map,
+            value_map,
+        } = self
+        else {
+            return;
+        };
+        let dequantize = |codes: &[Vec<u8>], map: &Affine| -> Vec<Matrix> {
+            codes
+                .iter()
+                .map(|head| {
+                    let mut m = Matrix::zeros(0, 0);
+                    for r in 0..*rows {
+                        let row: Vec<f32> = head[r * *head_dim..(r + 1) * *head_dim]
+                            .iter()
+                            .map(|&q| map.dequantize(q))
+                            .collect();
+                        m.push_row(&row);
+                    }
+                    m
+                })
+                .collect()
+        };
+        *self = KvBlockData::F32 {
+            keys: dequantize(keys, key_map),
+            values: dequantize(values, value_map),
+        };
     }
 }
 
@@ -83,7 +317,7 @@ pub(crate) struct SharedKvBlock {
 
 impl SharedKvBlock {
     pub(crate) fn num_heads(&self) -> usize {
-        self.data.keys.len()
+        self.data.num_heads()
     }
 
     pub(crate) fn rows(&self) -> usize {
@@ -91,7 +325,12 @@ impl SharedKvBlock {
     }
 
     pub(crate) fn head_dim(&self) -> usize {
-        self.data.keys.first().map_or(0, |m| m.shape().1)
+        self.data.head_dim()
+    }
+
+    /// Physical storage precision of the pinned payload.
+    pub(crate) fn storage_dtype(&self) -> KvDtype {
+        self.data.storage_dtype()
     }
 }
 
@@ -154,29 +393,31 @@ impl<'a> KvSlice<'a> {
         (self.len, self.head_dim)
     }
 
-    fn matrix(&self, block: usize) -> &'a Matrix {
-        let b = &self.blocks[block];
-        match self.component {
-            KvComponent::Keys => &b.data.keys[self.head],
-            KvComponent::Values => &b.data.values[self.head],
-        }
-    }
-
-    /// Borrow of logical slot `slot` as a row slice.
+    /// Row of logical slot `slot`: a borrow for `f32` blocks, a dequantized
+    /// copy of the single row for sealed `u8` blocks (never a whole block).
     ///
     /// # Panics
     ///
     /// Panics if `slot >= len()`.
     #[inline]
-    pub fn row(&self, slot: usize) -> &'a [f32] {
+    pub fn row(&self, slot: usize) -> Cow<'a, [f32]> {
         assert!(slot < self.len, "slot index out of bounds");
-        self.matrix(slot / self.block_size)
-            .row(slot % self.block_size)
+        self.blocks[slot / self.block_size].data.row(
+            self.component,
+            self.head,
+            slot % self.block_size,
+        )
     }
 
     /// Vector-matrix product `v * self` (treats `v` as a row vector of per-slot
     /// coefficients), mirroring [`Matrix::vecmat`] across block boundaries. This
     /// is attention's value-aggregation primitive.
+    ///
+    /// For sealed `u8` blocks the dequantization is fused into the accumulation:
+    /// per block the codes are accumulated raw (`acc += coeff * q`, alongside a
+    /// running coefficient sum) and the affine map is applied once at the end,
+    /// so no `f32` copy of a block is ever materialized. The `f32` arm is the
+    /// exact pre-quantization loop, preserving bit-identical results.
     ///
     /// # Errors
     ///
@@ -191,13 +432,51 @@ impl<'a> KvSlice<'a> {
         }
         let mut out = vec![0.0f32; self.head_dim];
         for (block_idx, coeffs) in v.chunks(self.block_size).enumerate() {
-            let m = self.matrix(block_idx);
-            for (r, &coeff) in coeffs.iter().enumerate() {
-                if coeff == 0.0 {
-                    continue;
+            match &*self.blocks[block_idx].data {
+                KvBlockData::F32 { keys, values } => {
+                    let m = match self.component {
+                        KvComponent::Keys => &keys[self.head],
+                        KvComponent::Values => &values[self.head],
+                    };
+                    for (r, &coeff) in coeffs.iter().enumerate() {
+                        if coeff == 0.0 {
+                            continue;
+                        }
+                        for (o, &x) in out.iter_mut().zip(m.row(r)) {
+                            *o += coeff * x;
+                        }
+                    }
                 }
-                for (o, &x) in out.iter_mut().zip(m.row(r)) {
-                    *o += coeff * x;
+                KvBlockData::U8 {
+                    keys,
+                    values,
+                    head_dim,
+                    key_map,
+                    value_map,
+                    ..
+                } => {
+                    let (codes, map) = match self.component {
+                        KvComponent::Keys => (&keys[self.head], key_map),
+                        KvComponent::Values => (&values[self.head], value_map),
+                    };
+                    // sum(coeff * (q - zero) * scale) over rows factors into
+                    // scale * (sum(coeff * q) - zero * sum(coeff)).
+                    let mut acc = vec![0.0f32; *head_dim];
+                    let mut coeff_sum = 0.0f32;
+                    for (r, &coeff) in coeffs.iter().enumerate() {
+                        if coeff == 0.0 {
+                            continue;
+                        }
+                        coeff_sum += coeff;
+                        let row = &codes[r * *head_dim..(r + 1) * *head_dim];
+                        for (a, &q) in acc.iter_mut().zip(row) {
+                            *a += coeff * f32::from(q);
+                        }
+                    }
+                    let offset = map.zero_point * coeff_sum;
+                    for (o, a) in out.iter_mut().zip(acc) {
+                        *o += map.scale * (a - offset);
+                    }
                 }
             }
         }
@@ -208,7 +487,7 @@ impl<'a> KvSlice<'a> {
     pub fn to_matrix(&self) -> Matrix {
         let mut m = Matrix::zeros(0, 0);
         for slot in 0..self.len {
-            m.push_row(self.row(slot));
+            m.push_row(&self.row(slot));
         }
         m
     }
@@ -229,6 +508,9 @@ pub struct LayerKvCache {
     /// path (`keys`/`values`/`append`) never touches the pool's lock just to
     /// read a constant.
     block_size: usize,
+    /// Storage precision of sealed blocks (the partially-filled tail always
+    /// stages in `f32` and seals when it fills).
+    dtype: KvDtype,
     blocks: Vec<KvBlock>,
     positions: Vec<usize>,
     /// Copy-on-write forks performed by this layer (writes into shared blocks).
@@ -246,17 +528,35 @@ impl LayerKvCache {
         )
     }
 
-    /// Creates an empty per-layer cache drawing its blocks from `pool`.
+    /// Creates an empty per-layer cache drawing its blocks from `pool`, storing
+    /// at the default full precision.
     pub fn with_pool(num_heads: usize, head_dim: usize, pool: SharedBlockPool) -> Self {
+        Self::with_pool_dtype(num_heads, head_dim, pool, KvDtype::F32)
+    }
+
+    /// Creates an empty per-layer cache drawing its blocks from `pool`, storing
+    /// sealed blocks at `dtype`.
+    pub fn with_pool_dtype(
+        num_heads: usize,
+        head_dim: usize,
+        pool: SharedBlockPool,
+        dtype: KvDtype,
+    ) -> Self {
         LayerKvCache {
             num_heads,
             head_dim,
             block_size: pool.block_size(),
+            dtype,
             pool,
             blocks: Vec::new(),
             positions: Vec::new(),
             cow_forks: 0,
         }
+    }
+
+    /// Storage precision sealed blocks of this layer use.
+    pub fn dtype(&self) -> KvDtype {
+        self.dtype
     }
 
     /// Number of live token slots.
@@ -374,6 +674,13 @@ impl LayerKvCache {
                 "cannot map a shared block behind a partially-filled block".into(),
             ));
         }
+        if block.storage_dtype() != self.dtype {
+            return Err(CoreError::InvalidConfig(format!(
+                "shared block stored as {} cannot be mapped into a {} layer",
+                block.storage_dtype().label(),
+                self.dtype.label()
+            )));
+        }
         self.pool.retain(block.id)?;
         let start = self.positions.len();
         self.positions.extend(start..start + self.block_size);
@@ -387,28 +694,43 @@ impl LayerKvCache {
     /// Ensures block `idx` is privately owned, forking a copy-on-write clone
     /// (fresh pool block + payload copy, shared original released) when it is
     /// currently mapped elsewhere.
+    ///
+    /// The fork decision is one atomic [`SharedBlockPool::fork_block`] probe, so
+    /// two sequences racing to write the same shared block from different
+    /// threads each reach a consistent outcome: exactly one side observes the
+    /// block private (after the other's fork released its mapping), and a block
+    /// shared by both sides is forked by each exactly once.
     fn ensure_private(&mut self, idx: usize) -> Result<(), CoreError> {
-        if Arc::strong_count(&self.blocks[idx].data) == 1 {
-            return Ok(());
+        match self.pool.fork_block(self.blocks[idx].id)? {
+            None => Ok(()),
+            Some(new_id) => {
+                let data = KvBlockData::clone(&self.blocks[idx].data);
+                self.blocks[idx] = KvBlock {
+                    id: new_id,
+                    data: Arc::new(data),
+                };
+                self.cow_forks += 1;
+                Ok(())
+            }
         }
-        let new_id = self.pool.alloc()?;
-        let data = KvBlockData::clone(&self.blocks[idx].data);
-        let old = std::mem::replace(
-            &mut self.blocks[idx],
-            KvBlock {
-                id: new_id,
-                data: Arc::new(data),
-            },
-        );
-        self.pool.release(old.id)?;
-        self.cow_forks += 1;
-        Ok(())
+    }
+
+    /// Mutable payload access to a block whose *pool* mapping is already
+    /// private (refcount 1). A concurrent forker that decided to fork away
+    /// from this block may still hold a transient `Arc` clone while it copies
+    /// the payload; ownership is already decided by the pool, so wait out the
+    /// copy rather than treating the block as shared.
+    fn private_data_mut(block: &mut KvBlock) -> &mut KvBlockData {
+        while Arc::get_mut(&mut block.data).is_none() {
+            std::hint::spin_loop();
+        }
+        Arc::get_mut(&mut block.data).expect("sole owner after forker's copy completed")
     }
 
     /// Mutable access to block `idx`'s payload, forking it private first.
     fn block_data_mut(&mut self, idx: usize) -> Result<&mut KvBlockData, CoreError> {
         self.ensure_private(idx)?;
-        Ok(Arc::get_mut(&mut self.blocks[idx].data).expect("block was just made private"))
+        Ok(Self::private_data_mut(&mut self.blocks[idx]))
     }
 
     /// Clones this layer's table into a new cache sharing every block
@@ -427,6 +749,7 @@ impl LayerKvCache {
             head_dim: self.head_dim,
             pool: self.pool.clone(),
             block_size: self.block_size,
+            dtype: self.dtype,
             blocks,
             positions: self.positions.clone(),
             cow_forks: 0,
@@ -513,10 +836,22 @@ impl LayerKvCache {
         // Appending into a partially-filled block another sequence still maps
         // (a fork sharing our tail) must not mutate the shared rows: fork first.
         let num_heads = self.num_heads;
+        let block_size = self.block_size;
+        let dtype = self.dtype;
         let block = self.block_data_mut(self.blocks.len() - 1)?;
-        for h in 0..num_heads {
-            block.keys[h].push_row(&keys_per_head[h]);
-            block.values[h].push_row(&values_per_head[h]);
+        {
+            let KvBlockData::F32 { keys, values } = &mut *block else {
+                // The tail block of any layer stages in f32 until it fills; a
+                // sealed tail would mean the seal-on-full invariant was broken.
+                unreachable!("append reached a sealed block");
+            };
+            for h in 0..num_heads {
+                keys[h].push_row(&keys_per_head[h]);
+                values[h].push_row(&values_per_head[h]);
+            }
+        }
+        if dtype == KvDtype::U8 && block.rows() == block_size {
+            block.seal();
         }
         self.positions.push(position);
         Ok(())
@@ -538,19 +873,24 @@ impl LayerKvCache {
         let needed = new_len.div_ceil(bs);
         // Copy-on-write pre-pass: every block compaction will *write* — a
         // destination of a moved row, or the truncated final block — must be
-        // privately owned first. Blocks the selection leaves byte-identical
-        // (an aligned identity prefix) stay shared.
+        // privately owned first, and unsealed back to f32 staging if it was
+        // quantized. Blocks the selection leaves byte-identical (an aligned
+        // identity prefix) stay shared and sealed.
         for (dst, &src) in retained.iter().enumerate() {
             if dst != src {
                 self.ensure_private(dst / bs)?;
+                Self::private_data_mut(&mut self.blocks[dst / bs]).unseal();
             }
         }
         if needed > 0 && new_len < needed * bs {
             // The final kept block will be truncated below.
             self.ensure_private(needed - 1)?;
+            Self::private_data_mut(&mut self.blocks[needed - 1]).unseal();
         }
         // `retained` is strictly increasing, so every destination slot is at or
         // before its source slot and rows can be moved in a single forward pass.
+        // Sources still sealed dequantize row-by-row; destinations were
+        // unsealed above, so moves always land in f32 staging.
         for (dst, &src) in retained.iter().enumerate() {
             if dst == src {
                 continue;
@@ -558,12 +898,20 @@ impl LayerKvCache {
             let (sb, sr) = (src / bs, src % bs);
             let (db, dr) = (dst / bs, dst % bs);
             for h in 0..self.num_heads {
-                let key = self.blocks[sb].data.keys[h].row(sr).to_vec();
-                let value = self.blocks[sb].data.values[h].row(sr).to_vec();
-                let data = Arc::get_mut(&mut self.blocks[db].data)
-                    .expect("destination block was made private in the pre-pass");
-                data.keys[h].row_mut(dr).copy_from_slice(&key);
-                data.values[h].row_mut(dr).copy_from_slice(&value);
+                let key = self.blocks[sb]
+                    .data
+                    .row(KvComponent::Keys, h, sr)
+                    .into_owned();
+                let value = self.blocks[sb]
+                    .data
+                    .row(KvComponent::Values, h, sr)
+                    .into_owned();
+                let data = Self::private_data_mut(&mut self.blocks[db]);
+                let KvBlockData::F32 { keys, values } = data else {
+                    unreachable!("destination blocks are unsealed in the pre-pass");
+                };
+                keys[h].row_mut(dr).copy_from_slice(&key);
+                values[h].row_mut(dr).copy_from_slice(&value);
             }
         }
         self.positions = retained.iter().map(|&i| self.positions[i]).collect();
@@ -582,10 +930,23 @@ impl LayerKvCache {
         }
         if new_len > 0 && new_len < needed * bs {
             let rows = new_len - (needed - 1) * bs;
-            let last = Arc::get_mut(&mut self.blocks[needed - 1].data)
-                .expect("final block was made private in the pre-pass");
-            for m in last.keys.iter_mut().chain(last.values.iter_mut()) {
+            let last = Self::private_data_mut(&mut self.blocks[needed - 1]);
+            let KvBlockData::F32 { keys, values } = last else {
+                unreachable!("the truncated final block is unsealed in the pre-pass");
+            };
+            for m in keys.iter_mut().chain(values.iter_mut()) {
                 m.truncate_rows(rows);
+            }
+        }
+        // Reseal pass for quantized layers: any full block left in f32 staging
+        // was unsealed (and made private) by this compaction — quantize it
+        // again with parameters fit to its post-compaction contents. The
+        // partial tail stays in staging until it fills.
+        if self.dtype == KvDtype::U8 {
+            for block in &mut self.blocks {
+                if block.data.rows() == bs && block.data.storage_dtype() == KvDtype::F32 {
+                    Self::private_data_mut(block).seal();
+                }
             }
         }
         Ok(())
@@ -619,10 +980,14 @@ impl LayerKvCache {
     }
 
     /// Bytes one retained token slot occupies in this layer (keys + values across
-    /// every head), independent of how many slots are currently live. This is the
-    /// unit the serving layer's block arithmetic multiplies by the block size.
+    /// every head) at the layer's storage dtype, independent of how many slots
+    /// are currently live. This is the unit the serving layer's block arithmetic
+    /// multiplies by the block size, so pool sizing, admission reservations and
+    /// utilization stats all account in *quantized* bytes for `u8` layers. (The
+    /// unsealed tail block transiently stages at `f32`; accounting charges the
+    /// sealed representation.)
     pub fn bytes_per_slot(&self) -> usize {
-        2 * self.num_heads * self.head_dim * std::mem::size_of::<f32>()
+        2 * self.num_heads * self.head_dim * self.dtype.bytes_per_value()
     }
 }
 
@@ -662,12 +1027,31 @@ impl KvCache {
         head_dim: usize,
         pool: SharedBlockPool,
     ) -> Self {
+        Self::with_pool_dtype(num_layers, num_heads, head_dim, pool, KvDtype::F32)
+    }
+
+    /// Creates an empty cache allocating from `pool` with every layer storing
+    /// sealed blocks at `dtype`.
+    pub fn with_pool_dtype(
+        num_layers: usize,
+        num_heads: usize,
+        head_dim: usize,
+        pool: SharedBlockPool,
+        dtype: KvDtype,
+    ) -> Self {
         KvCache {
             layers: (0..num_layers)
-                .map(|_| LayerKvCache::with_pool(num_heads, head_dim, pool.clone()))
+                .map(|_| LayerKvCache::with_pool_dtype(num_heads, head_dim, pool.clone(), dtype))
                 .collect(),
             pool,
         }
+    }
+
+    /// Storage precision of this cache's layers.
+    pub fn dtype(&self) -> KvDtype {
+        self.layers
+            .first()
+            .map_or(KvDtype::F32, LayerKvCache::dtype)
     }
 
     /// Number of decoder layers.
@@ -876,8 +1260,8 @@ mod tests {
         assert_eq!(layer.allocated_slots(), 9);
         // Rows read back identically across the block seams.
         for slot in 0..8 {
-            assert_eq!(layer.keys(0).row(slot), &[slot as f32; 3]);
-            assert_eq!(layer.values(1).row(slot), &[20.0 + slot as f32; 3]);
+            assert_eq!(&*layer.keys(0).row(slot), &[slot as f32; 3]);
+            assert_eq!(&*layer.values(1).row(slot), &[20.0 + slot as f32; 3]);
         }
         assert_eq!(layer.keys(0).to_matrix().shape(), (8, 3));
     }
@@ -902,8 +1286,8 @@ mod tests {
         layer.retain_slots(&[0, 3, 4]).unwrap();
         assert_eq!(layer.len(), 3);
         assert_eq!(layer.positions(), &[0, 3, 4]);
-        assert_eq!(layer.keys(0).row(1), &[3.0, 3.0, 3.0]);
-        assert_eq!(layer.values(1).row(2), &[24.0, 24.0, 24.0]);
+        assert_eq!(&*layer.keys(0).row(1), &[3.0, 3.0, 3.0]);
+        assert_eq!(&*layer.values(1).row(2), &[24.0, 24.0, 24.0]);
     }
 
     #[test]
@@ -916,16 +1300,16 @@ mod tests {
         assert_eq!(layer.num_blocks(), 2);
         assert_eq!(pool.blocks_in_use(), 2, "emptied blocks returned instantly");
         assert_eq!(layer.positions(), &[1, 4, 6]);
-        assert_eq!(layer.keys(0).row(0), &[1.0; 3]);
-        assert_eq!(layer.keys(0).row(1), &[4.0; 3]);
-        assert_eq!(layer.keys(0).row(2), &[6.0; 3]);
-        assert_eq!(layer.values(1).row(2), &[26.0; 3]);
+        assert_eq!(&*layer.keys(0).row(0), &[1.0; 3]);
+        assert_eq!(&*layer.keys(0).row(1), &[4.0; 3]);
+        assert_eq!(&*layer.keys(0).row(2), &[6.0; 3]);
+        assert_eq!(&*layer.values(1).row(2), &[26.0; 3]);
         // Appending after compaction reuses the partially-filled tail block.
         let k = vec![vec![9.0; 3], vec![9.5; 3]];
         let v = vec![vec![19.0; 3], vec![29.0; 3]];
         layer.append(9, &k, &v).unwrap();
         assert_eq!(layer.num_blocks(), 2);
-        assert_eq!(layer.keys(0).row(3), &[9.0; 3]);
+        assert_eq!(&*layer.keys(0).row(3), &[9.0; 3]);
     }
 
     #[test]
@@ -1050,8 +1434,8 @@ mod tests {
         assert_eq!(pool.shared_blocks(), 1, "the full block stays shared");
         // The original never sees the fork's write.
         assert_eq!(layer.len(), 6);
-        assert_eq!(layer.keys(0).row(5), &[5.0; 3]);
-        assert_eq!(fork.keys(0).row(6), &[9.0; 3]);
+        assert_eq!(&*layer.keys(0).row(5), &[5.0; 3]);
+        assert_eq!(&*fork.keys(0).row(6), &[9.0; 3]);
         drop(fork);
         assert_eq!(pool.blocks_in_use(), 2);
         assert_eq!(pool.shared_blocks(), 0);
@@ -1066,12 +1450,12 @@ mod tests {
         fork.retain_slots(&[0, 2, 5]).unwrap();
         assert!(fork.cow_forks() >= 1);
         assert_eq!(fork.positions(), &[0, 2, 5]);
-        assert_eq!(fork.keys(0).row(1), &[2.0; 3]);
+        assert_eq!(&*fork.keys(0).row(1), &[2.0; 3]);
         // The donor still reads its original six slots, bit-identical.
         assert_eq!(layer.len(), 6);
         for slot in 0..6 {
-            assert_eq!(layer.keys(0).row(slot), &[slot as f32; 3]);
-            assert_eq!(layer.values(1).row(slot), &[20.0 + slot as f32; 3]);
+            assert_eq!(&*layer.keys(0).row(slot), &[slot as f32; 3]);
+            assert_eq!(&*layer.values(1).row(slot), &[20.0 + slot as f32; 3]);
         }
         // An aligned identity prefix stays shared: retaining [0, 1] keeps the
         // first block byte-identical, so no fork for it.
@@ -1091,7 +1475,7 @@ mod tests {
         reader.push_shared_block(donor.shared_block(1)).unwrap();
         assert_eq!(reader.len(), 6);
         assert_eq!(reader.positions(), &[0, 1, 2, 3, 4, 5]);
-        assert_eq!(reader.keys(0).row(4), &[4.0; 3]);
+        assert_eq!(&*reader.keys(0).row(4), &[4.0; 3]);
         assert_eq!(pool.blocks_in_use(), 2, "no new physical blocks");
         assert_eq!(pool.shared_blocks(), 2);
         // Shape and density violations are rejected.
@@ -1123,7 +1507,7 @@ mod tests {
         drop(cache);
         // The fork keeps every block alive on its own.
         assert_eq!(pool.blocks_in_use(), 4);
-        assert_eq!(fork.layer(1).keys(0).row(4), &[4.0; 3]);
+        assert_eq!(&*fork.layer(1).keys(0).row(4), &[4.0; 3]);
         drop(fork);
         assert_eq!(pool.blocks_in_use(), 0);
     }
@@ -1135,5 +1519,182 @@ mod tests {
         assert!(validate_selection(&[3], 3).is_err());
         assert!(validate_selection(&[1, 0], 3).is_err());
         assert!(validate_selection(&[0, 0], 3).is_err());
+    }
+
+    /// Deterministic "random" value in roughly [-3, 3.5] for quantization tests.
+    fn wiggle(i: usize, h: usize, salt: usize) -> f32 {
+        let x = (i * 37 + h * 11 + salt * 101) % 131;
+        x as f32 * 0.05 - 3.0
+    }
+
+    fn filled_layer_u8(slots: usize, pool: SharedBlockPool) -> LayerKvCache {
+        let mut layer = LayerKvCache::with_pool_dtype(2, 3, pool, KvDtype::U8);
+        append_wiggles(&mut layer, slots);
+        layer
+    }
+
+    fn append_wiggles(layer: &mut LayerKvCache, slots: usize) {
+        let start = layer.len();
+        for i in start..start + slots {
+            let k: Vec<Vec<f32>> = (0..2)
+                .map(|h| (0..3).map(|d| wiggle(i, h, d)).collect())
+                .collect();
+            let v: Vec<Vec<f32>> = (0..2)
+                .map(|h| (0..3).map(|d| wiggle(i, h, d + 7)).collect())
+                .collect();
+            layer.append(i, &k, &v).unwrap();
+        }
+    }
+
+    #[test]
+    fn affine_round_trip_error_bounded_by_half_step() {
+        let values: Vec<f32> = (0..200).map(|i| wiggle(i, i % 3, 2)).collect();
+        let map = Affine::for_values(values.iter());
+        let half_step = map.scale / 2.0;
+        for &f in &values {
+            let err = (map.dequantize(map.quantize(f)) - f).abs();
+            assert!(
+                err <= half_step * 1.0001,
+                "err {err} > half step {half_step}"
+            );
+        }
+        // Range endpoints are exact.
+        let min = values.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert_eq!(map.quantize(min), 0);
+        assert_eq!(map.quantize(max), 255);
+        assert_eq!(map.dequantize(0), min);
+        assert_eq!(map.dequantize(255), max);
+        // A constant block encodes exactly.
+        let flat = Affine::for_range(1.25, 1.25);
+        assert_eq!(flat.dequantize(flat.quantize(1.25)), 1.25);
+    }
+
+    #[test]
+    fn u8_layer_seals_full_blocks_and_stages_the_tail() {
+        let pool = SharedBlockPool::unbounded(4);
+        let layer = filled_layer_u8(6, pool);
+        assert_eq!(layer.dtype(), KvDtype::U8);
+        // First block (4 rows) sealed to u8, tail (2 rows) staged in f32.
+        assert_eq!(layer.blocks[0].data.storage_dtype(), KvDtype::U8);
+        assert_eq!(layer.blocks[1].data.storage_dtype(), KvDtype::F32);
+        // Accounting charges the sealed representation: a quarter of f32.
+        let f32_layer = LayerKvCache::new(2, 3);
+        assert_eq!(layer.bytes_per_slot() * 4, f32_layer.bytes_per_slot());
+        // Sealed reads stay within the affine half-step of what was written;
+        // staged tail reads are exact.
+        for slot in 0..6 {
+            for h in 0..2 {
+                let key = layer.keys(h).row(slot);
+                for (d, got) in key.iter().enumerate() {
+                    let want = wiggle(slot, h, d);
+                    let tol = if slot < 4 { 0.05 } else { 0.0 };
+                    assert!(
+                        (got - want).abs() <= tol,
+                        "slot {slot} head {h} dim {d}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn u8_fused_vecmat_matches_row_dequantized_dense_product() {
+        let pool = SharedBlockPool::unbounded(4);
+        let layer = filled_layer_u8(10, pool);
+        let coeffs: Vec<f32> = (0..10)
+            .map(|i| if i % 3 == 0 { 0.0 } else { 0.1 * i as f32 })
+            .collect();
+        for h in 0..2 {
+            let view = layer.values(h);
+            let fused = view.vecmat(&coeffs).unwrap();
+            // to_matrix() dequantizes row-by-row; its vecmat is the unfused
+            // reference the factored accumulation must agree with.
+            let dense = view.to_matrix().vecmat(&coeffs).unwrap();
+            for (a, b) in fused.iter().zip(&dense) {
+                assert!((a - b).abs() < 1e-4, "{fused:?} vs {dense:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_fork_and_compaction_read_identical_to_never_shared() {
+        let pool = SharedBlockPool::unbounded(4);
+        let mut shared = filled_layer_u8(11, pool.clone());
+        let fork = shared.fork().unwrap();
+        let mut control = filled_layer_u8(11, SharedBlockPool::unbounded(4));
+        let keep = [0, 2, 3, 5, 8, 9, 10];
+        shared.retain_slots(&keep).unwrap();
+        control.retain_slots(&keep).unwrap();
+        // The compacted shared layer reads bit-identically to a layer that was
+        // never shared: CoW forking + unseal/reseal is deterministic.
+        for slot in 0..keep.len() {
+            for h in 0..2 {
+                assert_eq!(shared.keys(h).row(slot), control.keys(h).row(slot));
+                assert_eq!(shared.values(h).row(slot), control.values(h).row(slot));
+            }
+        }
+        // The fork still reads the pre-compaction content of its sealed blocks.
+        let expected = filled_layer_u8(11, SharedBlockPool::unbounded(4));
+        for slot in 0..11 {
+            assert_eq!(fork.keys(0).row(slot), expected.keys(0).row(slot));
+        }
+        assert!(
+            shared.cow_forks() > 0,
+            "compaction wrote into shared blocks"
+        );
+    }
+
+    #[test]
+    fn u8_compaction_releases_tail_blocks_and_reseals_full_blocks() {
+        let pool = SharedBlockPool::unbounded(4);
+        let mut layer = filled_layer_u8(12, pool.clone());
+        assert_eq!(pool.blocks_in_use(), 3);
+        layer.retain_slots(&[0, 1, 2, 3, 5, 6, 7, 8]).unwrap();
+        assert_eq!(pool.blocks_in_use(), 2);
+        // Both kept blocks are full again, so both must be resealed.
+        for block in &layer.blocks {
+            assert_eq!(block.data.storage_dtype(), KvDtype::U8);
+        }
+        // Appending afterwards opens a fresh f32 staging tail.
+        append_wiggles(&mut layer, 1);
+        assert_eq!(layer.blocks[2].data.storage_dtype(), KvDtype::F32);
+    }
+
+    #[test]
+    fn push_shared_block_rejects_dtype_mismatch() {
+        let pool = SharedBlockPool::unbounded(4);
+        let f32_donor = filled_layer_in(4, pool.clone());
+        let u8_donor = filled_layer_u8(4, pool.clone());
+        let mut u8_layer = LayerKvCache::with_pool_dtype(2, 3, pool.clone(), KvDtype::U8);
+        let mut f32_layer = LayerKvCache::with_pool(2, 3, pool);
+        assert!(u8_layer
+            .push_shared_block(f32_donor.shared_block(0))
+            .is_err());
+        assert!(f32_layer
+            .push_shared_block(u8_donor.shared_block(0))
+            .is_err());
+        // Matching dtypes map fine.
+        u8_layer
+            .push_shared_block(u8_donor.shared_block(0))
+            .unwrap();
+        f32_layer
+            .push_shared_block(f32_donor.shared_block(0))
+            .unwrap();
+        assert_eq!(u8_layer.len(), 4);
+        assert_eq!(f32_layer.len(), 4);
+    }
+
+    #[test]
+    fn kv_cache_dtype_constructor_threads_through_layers() {
+        let pool = SharedBlockPool::unbounded(4);
+        let cache = KvCache::with_pool_dtype(3, 2, 3, pool, KvDtype::U8);
+        assert_eq!(cache.dtype(), KvDtype::U8);
+        for layer in cache.iter() {
+            assert_eq!(layer.dtype(), KvDtype::U8);
+        }
+        // u8 tokens cost a quarter of the f32 bytes.
+        let f32_cache = KvCache::new(3, 2, 3);
+        assert_eq!(cache.bytes_per_token() * 4, f32_cache.bytes_per_token());
     }
 }

@@ -20,11 +20,13 @@
 //! percentiles per policy under mixed-priority traffic with cancellations),
 //! and running `parallel_scaling` writes `BENCH_parallel.json` (wall-clock
 //! steps/sec vs `decode_workers`, token-identity verified against the
-//! sequential baseline) to the working directory, so CI can archive the
-//! serving trajectories as machine-readable data.
+//! sequential baseline), and running `quantization` writes `BENCH_quant.json`
+//! (u8 vs f32 KV storage at a fixed byte pool: completed requests,
+//! utilization and ROUGE deltas per policy/budget) to the working directory,
+//! so CI can archive the serving trajectories as machine-readable data.
 
 use keyformer_harness::report::Table;
-use keyformer_harness::{paging, parallel, prefix, serving, streaming};
+use keyformer_harness::{paging, parallel, prefix, quantization, serving, streaming};
 use keyformer_harness::{run_experiment, ExperimentId};
 use serde::Serialize;
 
@@ -40,6 +42,8 @@ const LATENCY_JSON: &str = "BENCH_latency.json";
 /// File the parallel-scaling experiment's machine-readable summary is written
 /// to.
 const PARALLEL_JSON: &str = "BENCH_parallel.json";
+/// File the quantization experiment's machine-readable summary is written to.
+const QUANT_JSON: &str = "BENCH_quant.json";
 
 /// Writes an experiment's machine-readable summary, exiting loudly on failure —
 /// a missing or stale JSON data point must not leave a previous run's file
@@ -83,6 +87,11 @@ fn run_with_artifacts(id: ExperimentId, samples: usize) -> Table {
         ExperimentId::ParallelScaling => {
             let (table, summaries) = parallel::parallel_scaling_report(samples);
             write_summary(PARALLEL_JSON, &summaries);
+            table
+        }
+        ExperimentId::Quantization => {
+            let (table, summaries) = quantization::quantization_report(samples);
+            write_summary(QUANT_JSON, &summaries);
             table
         }
         _ => run_experiment(id, samples),

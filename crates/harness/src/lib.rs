@@ -18,9 +18,11 @@ pub mod paging;
 pub mod parallel;
 pub mod perf;
 pub mod prefix;
+pub mod quantization;
 pub mod registry;
 pub mod report;
 pub mod serving;
+pub mod sizing;
 pub mod streaming;
 
 pub use registry::{run_experiment, ExperimentId};

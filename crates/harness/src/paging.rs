@@ -24,6 +24,7 @@
 
 use crate::report::{fmt, Table};
 use crate::serving::{serving_policies, MODEL_SEED};
+use keyformer_core::cache::KvDtype;
 use keyformer_model::families::ModelFamily;
 use keyformer_model::generation::GenerationConfig;
 use keyformer_serve::{Request, Server, ServerConfig};
@@ -124,10 +125,9 @@ pub fn paging_report(samples: usize) -> (Table, Vec<PagingSummary>) {
     let num_requests = 16 * samples;
     let step_budget = 3 * GEN_TOKENS * samples;
     let model = ModelFamily::Tiny.build(MODEL_SEED);
-    let bytes_per_token = model.empty_cache().bytes_per_token();
     // Same pool as the serving-throughput experiment: two full-attention
     // steady-state requests plus one token of slack.
-    let pool_bytes = (PROMPT_LEN + GEN_TOKENS) * 2 * bytes_per_token + bytes_per_token;
+    let pool_bytes = crate::sizing::steady_pool_bytes(&model, PROMPT_LEN, GEN_TOKENS, KvDtype::F32);
 
     let mut table = Table::new(
         format!(

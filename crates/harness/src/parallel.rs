@@ -29,6 +29,7 @@
 
 use crate::report::{fmt, Table};
 use keyformer_core::budget::CacheBudgetSpec;
+use keyformer_core::cache::KvDtype;
 use keyformer_core::spec::PolicySpec;
 use keyformer_model::families::ModelFamily;
 use keyformer_model::generation::{GenerationConfig, GenerationOutput};
@@ -155,11 +156,16 @@ fn timed_run(
     budget: Option<CacheBudgetSpec>,
     workers: usize,
 ) -> (f64, usize, usize, Vec<(u64, GenerationOutput)>) {
-    let bytes_per_token = model.empty_cache().bytes_per_token();
     // Roomy pool: every request admitted up front, so each decode round runs
     // the full batch and the experiment measures execution, not queueing.
-    let pool_bytes =
-        workload.requests * (workload.prompt_len + workload.gen_tokens + 8) * bytes_per_token;
+    let pool_bytes = crate::sizing::per_request_pool_bytes(
+        model,
+        workload.requests,
+        workload.prompt_len,
+        workload.gen_tokens,
+        8,
+        KvDtype::F32,
+    );
     let config = ServerConfig::new(*policy, budget, pool_bytes).with_decode_workers(workers);
     let mut engine = Engine::new(model, config).expect("scaling config is valid");
     engine.record_events(false);

@@ -27,6 +27,7 @@
 use crate::report::{fmt, Table};
 use crate::serving::MODEL_SEED;
 use keyformer_core::budget::CacheBudgetSpec;
+use keyformer_core::cache::KvDtype;
 use keyformer_core::spec::PolicySpec;
 use keyformer_model::families::ModelFamily;
 use keyformer_model::generation::GenerationConfig;
@@ -116,9 +117,8 @@ pub fn prefix_sharing_report(samples: usize) -> (Table, Vec<PrefixSummary>) {
     let samples = samples.max(1);
     let step_budget = 3 * GEN_TOKENS * samples;
     let model = ModelFamily::Tiny.build(MODEL_SEED);
-    let bytes_per_token = model.empty_cache().bytes_per_token();
     // Same pool as the serving-throughput and paging experiments.
-    let pool_bytes = (PROMPT_LEN + GEN_TOKENS) * 2 * bytes_per_token + bytes_per_token;
+    let pool_bytes = crate::sizing::steady_pool_bytes(&model, PROMPT_LEN, GEN_TOKENS, KvDtype::F32);
     let base = ServerConfig::new(
         PolicySpec::keyformer_default(),
         Some(CacheBudgetSpec::with_fraction(0.5).expect("valid fraction")),

@@ -2,7 +2,7 @@
 //! regenerate them.
 
 use crate::report::Table;
-use crate::{accuracy, analysis, paging, parallel, perf, prefix, serving, streaming};
+use crate::{accuracy, analysis, paging, parallel, perf, prefix, quantization, serving, streaming};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of one paper table or figure.
@@ -64,6 +64,10 @@ pub enum ExperimentId {
     /// across the policy zoo, token streams verified identical to the
     /// sequential baseline at every worker count (not a paper artefact).
     ParallelScaling,
+    /// Quantized KV storage: u8 blocks (per-block affine scale/zero-point)
+    /// vs f32 across policies and budgets at a fixed byte pool — completed
+    /// requests, utilization and ROUGE deltas (not a paper artefact).
+    Quantization,
 }
 
 impl ExperimentId {
@@ -94,6 +98,7 @@ impl ExperimentId {
             PrefixSharing,
             StreamingLatency,
             ParallelScaling,
+            Quantization,
         ]
     }
 
@@ -124,6 +129,7 @@ impl ExperimentId {
             "prefix_sharing" => PrefixSharing,
             "streaming_latency" => StreamingLatency,
             "parallel_scaling" => ParallelScaling,
+            "quantization" => Quantization,
             _ => return None,
         })
     }
@@ -155,6 +161,7 @@ impl ExperimentId {
             PrefixSharing => "prefix_sharing",
             StreamingLatency => "streaming_latency",
             ParallelScaling => "parallel_scaling",
+            Quantization => "quantization",
         }
     }
 }
@@ -194,6 +201,7 @@ pub fn run_experiment(id: ExperimentId, samples: usize) -> Table {
         ExperimentId::PrefixSharing => prefix::prefix_sharing(samples),
         ExperimentId::StreamingLatency => streaming::streaming_latency(samples),
         ExperimentId::ParallelScaling => parallel::parallel_scaling(samples),
+        ExperimentId::Quantization => quantization::quantization(samples),
     }
 }
 
@@ -213,9 +221,9 @@ mod tests {
 
     #[test]
     fn all_lists_every_experiment() {
-        // 18 paper artefacts + the serving-throughput, paging, prefix-sharing
-        // and streaming-latency experiments.
-        assert_eq!(ExperimentId::all().len(), 23);
+        // 18 paper artefacts + the serving-throughput, paging, prefix-sharing,
+        // streaming-latency, parallel-scaling and quantization experiments.
+        assert_eq!(ExperimentId::all().len(), 24);
     }
 
     #[test]

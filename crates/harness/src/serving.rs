@@ -12,6 +12,7 @@
 
 use crate::report::{fmt, Table};
 use keyformer_core::budget::CacheBudgetSpec;
+use keyformer_core::cache::KvDtype;
 use keyformer_core::spec::PolicySpec;
 use keyformer_model::families::ModelFamily;
 use keyformer_model::generation::GenerationConfig;
@@ -111,10 +112,9 @@ pub fn serve_throughput_report(samples: usize) -> (Table, Vec<PolicyServingSumma
     let num_requests = 16 * samples;
     let step_budget = 3 * GEN_TOKENS * samples;
     let model = ModelFamily::Tiny.build(MODEL_SEED);
-    let bytes_per_token = model.empty_cache().bytes_per_token();
     // Pool sized so full attention fits two steady-state requests
     // (prompt + generation slots each) with a little headroom.
-    let pool_bytes = (PROMPT_LEN + GEN_TOKENS) * 2 * bytes_per_token + bytes_per_token;
+    let pool_bytes = crate::sizing::steady_pool_bytes(&model, PROMPT_LEN, GEN_TOKENS, KvDtype::F32);
 
     let mut table = Table::new(
         format!(

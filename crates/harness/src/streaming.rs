@@ -28,6 +28,7 @@
 use crate::report::{fmt, Table};
 use crate::serving::MODEL_SEED;
 use keyformer_core::budget::CacheBudgetSpec;
+use keyformer_core::cache::KvDtype;
 use keyformer_core::spec::PolicySpec;
 use keyformer_model::families::ModelFamily;
 use keyformer_model::generation::GenerationConfig;
@@ -172,10 +173,9 @@ pub fn streaming_latency_report(samples: usize) -> (Table, Vec<LatencySummary>) 
     let samples = samples.max(1);
     let num_requests = 16 * samples;
     let model = ModelFamily::Tiny.build(MODEL_SEED);
-    let bytes_per_token = model.empty_cache().bytes_per_token();
     // Same pool as the serving-throughput experiment, so the two JSON
     // artefacts describe the same memory envelope.
-    let pool_bytes = (PROMPT_LEN + GEN_TOKENS) * 2 * bytes_per_token + bytes_per_token;
+    let pool_bytes = crate::sizing::steady_pool_bytes(&model, PROMPT_LEN, GEN_TOKENS, KvDtype::F32);
     let step_cap = 400 * samples;
 
     let mut table = Table::new(

@@ -22,7 +22,7 @@ use crate::model::TransformerModel;
 use crate::session::Session;
 use crate::stats::AttentionStats;
 use keyformer_core::budget::{CacheBudget, CacheBudgetSpec};
-use keyformer_core::cache::KvCache;
+use keyformer_core::cache::{KvCache, KvDtype};
 use keyformer_core::policy::KvCachePolicy;
 use keyformer_core::CoreError;
 
@@ -46,6 +46,20 @@ impl<'m> InferenceEngine<'m> {
     ) -> Self {
         InferenceEngine {
             session: Session::new(model, policy, budget_spec),
+        }
+    }
+
+    /// Creates an engine whose KV cache stores sealed blocks at `dtype` — how
+    /// the quantization experiment measures accuracy at reduced KV precision
+    /// without going through the serving layer.
+    pub fn new_dtype(
+        model: &'m TransformerModel,
+        policy: Box<dyn KvCachePolicy>,
+        budget_spec: Option<CacheBudgetSpec>,
+        dtype: KvDtype,
+    ) -> Self {
+        InferenceEngine {
+            session: Session::with_dtype(model, policy, budget_spec, dtype),
         }
     }
 

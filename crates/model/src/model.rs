@@ -6,8 +6,8 @@ use crate::decoder::decoder_layer_forward;
 use crate::positional::PositionalEncoding;
 use crate::stats::AttentionStats;
 use crate::weights::ModelWeights;
-use keyformer_core::block::SharedBlockPool;
-use keyformer_core::cache::KvCache;
+use keyformer_core::block::{SharedBlockPool, DEFAULT_BLOCK_SIZE};
+use keyformer_core::cache::{KvCache, KvDtype};
 use keyformer_core::observation::Phase;
 use keyformer_core::policy::KvCachePolicy;
 use keyformer_core::CoreError;
@@ -74,15 +74,29 @@ impl TransformerModel {
         )
     }
 
+    /// Creates an empty KV cache with this model's shape storing sealed blocks
+    /// at `dtype`, backed by a private unbounded block pool.
+    pub fn empty_cache_dtype(&self, dtype: KvDtype) -> KvCache {
+        self.empty_cache_in_dtype(SharedBlockPool::unbounded(DEFAULT_BLOCK_SIZE), dtype)
+    }
+
     /// Creates an empty KV cache with this model's shape whose layers allocate
     /// from `pool` — how the serving layer makes every session contend for one
     /// shared, bounded block pool.
     pub fn empty_cache_in(&self, pool: SharedBlockPool) -> KvCache {
-        KvCache::with_pool(
+        self.empty_cache_in_dtype(pool, KvDtype::F32)
+    }
+
+    /// Creates an empty KV cache allocating from `pool` with sealed blocks
+    /// stored at `dtype` — the constructor behind the serving layer's
+    /// per-request KV-dtype knob.
+    pub fn empty_cache_in_dtype(&self, pool: SharedBlockPool, dtype: KvDtype) -> KvCache {
+        KvCache::with_pool_dtype(
             self.config.num_layers,
             self.config.num_heads,
             self.config.head_dim(),
             pool,
+            dtype,
         )
     }
 

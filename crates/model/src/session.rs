@@ -46,7 +46,7 @@ use crate::model::{ForwardContext, TransformerModel};
 use crate::stats::AttentionStats;
 use keyformer_core::block::SharedBlockPool;
 use keyformer_core::budget::{CacheBudget, CacheBudgetSpec};
-use keyformer_core::cache::KvCache;
+use keyformer_core::cache::{KvCache, KvDtype};
 use keyformer_core::observation::Phase;
 use keyformer_core::policy::KvCachePolicy;
 use keyformer_core::prefix::SharedPrefixRegistry;
@@ -158,6 +158,17 @@ impl<'m> Session<'m> {
         Self::with_cache(model.empty_cache(), model, policy, budget_spec)
     }
 
+    /// Creates a standalone session whose KV cache stores sealed blocks at
+    /// `dtype` (a private unbounded pool, like [`Session::new`]).
+    pub fn with_dtype(
+        model: &'m TransformerModel,
+        policy: Box<dyn KvCachePolicy>,
+        budget_spec: Option<CacheBudgetSpec>,
+        dtype: KvDtype,
+    ) -> Self {
+        Self::with_cache(model.empty_cache_dtype(dtype), model, policy, budget_spec)
+    }
+
     /// Creates a session whose KV cache allocates from `pool`, so its blocks
     /// contend with — and are reclaimed by — every other session sharing the
     /// pool. This is the constructor the serving scheduler uses.
@@ -168,6 +179,24 @@ impl<'m> Session<'m> {
         pool: SharedBlockPool,
     ) -> Self {
         Self::with_cache(model.empty_cache_in(pool), model, policy, budget_spec)
+    }
+
+    /// [`Session::with_pool`] with an explicit storage dtype for sealed KV
+    /// blocks — the serving scheduler's per-request KV-dtype knob bottoms out
+    /// here.
+    pub fn with_pool_dtype(
+        model: &'m TransformerModel,
+        policy: Box<dyn KvCachePolicy>,
+        budget_spec: Option<CacheBudgetSpec>,
+        pool: SharedBlockPool,
+        dtype: KvDtype,
+    ) -> Self {
+        Self::with_cache(
+            model.empty_cache_in_dtype(pool, dtype),
+            model,
+            policy,
+            budget_spec,
+        )
     }
 
     fn with_cache(

@@ -85,24 +85,28 @@
 //!    stream, completions and stats are byte-identical to `decode_workers =
 //!    1`.
 //!
-//! One determinism gate guards the copy-on-write path: a round in which any
-//! *budgeted* session still maps shared prefix blocks runs sequentially,
-//! because a mid-decode CoW fork's `Arc::strong_count` check could otherwise
-//! race a neighbour's release and perturb allocation counts. Unbudgeted
-//! sessions never write inside attached blocks, so they parallelize freely.
-//! The only quantities that may legitimately differ from the sequential
+//! Copy-on-write forks are safe under this fan-out with no sequential
+//! fallback: a writer's fork decision is a single atomic
+//! [`SharedBlockPool::fork_block`] probe under the pool lock
+//! (probe-allocate-release in one acquisition), so racing writers to the same
+//! shared block each fork exactly once, allocation *counts* and the free-list
+//! evolution match the sequential engine, and a forker still copying a
+//! payload is waited out by the other side rather than raced. Budgeted
+//! sessions that still map shared prefix blocks therefore decode in parallel
+//! too. The only quantities that may legitimately differ from the sequential
 //! engine are the pool's transient high-water marks (`peak_in_use`,
 //! `peak_reserved`, `peak_shared_blocks`): parallel execution genuinely holds
 //! more blocks at once mid-round. Everything observable at end-of-step —
 //! tokens, events, completions, live pool state, allocation totals — is
 //! identical, which `tests/parallel_decode_properties.rs` proves across the
-//! policy zoo.
+//! policy zoo, shared-prefix CoW included.
 
 use crate::request::{Completion, FailedRequest, FailureReason, Request, RequestId, SubmitOptions};
 use keyformer_core::block::{
     blocks_for_slots, BlockId, BlockPoolStats, OvercommitPolicy, SharedBlockPool,
 };
 use keyformer_core::budget::CacheBudgetSpec;
+use keyformer_core::cache::KvDtype;
 use keyformer_core::prefix::{policy_context, PrefixRegistryStats, SharedPrefixRegistry};
 use keyformer_core::spec::PolicySpec;
 use keyformer_core::CoreError;
@@ -139,6 +143,19 @@ pub const PRIORITY_AGING_STEPS: usize = 16;
 /// zero-token one and cannot be starved indefinitely by a stream of short
 /// prompts (the PR 4 SPF-starvation follow-up).
 pub const SPF_AGING_TOKENS_PER_STEP: usize = 1;
+
+/// Mixes a KV storage dtype into a prefix-registry context key. Sessions may
+/// only attach to prefix entries published at their own dtype (the cache
+/// rejects shared blocks of a foreign dtype), so the dtype must partition the
+/// registry namespace exactly as the policy does. [`KvDtype::F32`] maps to 0
+/// so the default configuration's context values — and therefore its whole
+/// sharing behaviour — are bit-identical to the pre-quantization engine.
+fn dtype_context(dtype: KvDtype) -> u64 {
+    match dtype {
+        KvDtype::F32 => 0,
+        KvDtype::U8 => 0x9e37_79b9_7f4a_7c15,
+    }
+}
 
 /// In which order queued requests are considered for admission (the tie-break
 /// *within* an effective-priority level; higher priorities always go first).
@@ -202,6 +219,13 @@ pub struct ServerConfig {
     /// plan → execute → commit pipeline. Zero is rejected by
     /// [`ServerConfig::validate`].
     pub decode_workers: usize,
+    /// Storage precision of sealed KV blocks (default [`KvDtype::F32`], which
+    /// is bit-identical to the pre-quantization engine). The byte pool is
+    /// converted to blocks at this dtype, so [`KvDtype::U8`] quadruples the
+    /// block capacity of the same `pool_bytes`. Requests may override it per
+    /// submission ([`SubmitOptions::with_kv_dtype`]) towards *smaller* bytes
+    /// per value only.
+    pub kv_dtype: KvDtype,
 }
 
 impl ServerConfig {
@@ -221,7 +245,14 @@ impl ServerConfig {
             prefix_sharing: false,
             admission_order: AdmissionOrder::Fifo,
             decode_workers: 1,
+            kv_dtype: KvDtype::F32,
         }
+    }
+
+    /// Sets the sealed-block storage precision; see [`ServerConfig::kv_dtype`].
+    pub fn with_kv_dtype(mut self, dtype: KvDtype) -> Self {
+        self.kv_dtype = dtype;
+        self
     }
 
     /// Sets how many worker threads the decode round may use; see
@@ -729,7 +760,7 @@ impl<'m> Engine<'m> {
     /// the byte pool is smaller than a single block.
     pub fn new(model: &'m TransformerModel, config: ServerConfig) -> Result<Self, CoreError> {
         config.validate()?;
-        let cache = model.empty_cache();
+        let cache = model.empty_cache_dtype(config.kv_dtype);
         let bytes_per_token = cache.bytes_per_token();
         let num_layers = cache.num_layers();
         let bytes_per_layer_slot = cache.layer(0).bytes_per_slot();
@@ -826,7 +857,11 @@ impl<'m> Engine<'m> {
         }
         let bs = self.config.block_size;
         let cap = (request.prompt.len() - 1) / bs * bs;
-        let context = policy_context(&request.effective_policy(self.config.policy));
+        // Matches at the engine's default dtype; a per-submission dtype
+        // override lives in `SubmitOptions`, which this request-only probe
+        // cannot see. Admission itself mixes the effective dtype in.
+        let context = policy_context(&request.effective_policy(self.config.policy))
+            ^ dtype_context(self.config.kv_dtype);
         registry.match_tokens(context, &request.prompt[..cap])
     }
 
@@ -1101,13 +1136,26 @@ impl<'m> Engine<'m> {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] if the request's overrides are
-    /// invalid; the request is not enqueued.
+    /// invalid, or if [`SubmitOptions::kv_dtype`] asks for *more* bytes per
+    /// value than the engine's [`ServerConfig::kv_dtype`] — the pool was
+    /// sized at the config dtype, so wider requests would silently overcommit
+    /// it; the request is not enqueued.
     pub fn submit_with(
         &mut self,
         request: Request,
         options: SubmitOptions,
     ) -> Result<RequestHandle, CoreError> {
         request.overrides.validate()?;
+        if let Some(dtype) = options.kv_dtype {
+            if dtype.bytes_per_value() > self.config.kv_dtype.bytes_per_value() {
+                return Err(CoreError::InvalidConfig(format!(
+                    "request kv_dtype {} is wider than the engine pool's {}; \
+                     a pool sized for quantized blocks cannot hold wider ones",
+                    dtype.label(),
+                    self.config.kv_dtype.label()
+                )));
+            }
+        }
         let id = request.id;
         self.queue.push_back(Pending {
             request,
@@ -1467,13 +1515,20 @@ impl<'m> Engine<'m> {
                     continue;
                 }
             };
+            let dtype = pending.options.kv_dtype.unwrap_or(self.config.kv_dtype);
             let mut session =
-                Session::with_pool(self.model, policy, budget_spec, self.pool.clone());
+                Session::with_pool_dtype(self.model, policy, budget_spec, self.pool.clone(), dtype);
             session.set_prefill_chunk(self.config.prefill_chunk);
             session.set_block_reservation(reserved);
             let begun = match &self.registry {
                 Some(registry) => {
-                    session.set_prefix_registry(registry.clone(), policy_context(&policy_spec));
+                    // Prefix entries are only shareable between sessions that
+                    // store blocks at the same dtype: mixing the dtype into
+                    // the context keys u8 and f32 prefixes apart.
+                    session.set_prefix_registry(
+                        registry.clone(),
+                        policy_context(&policy_spec) ^ dtype_context(dtype),
+                    );
                     session
                         .begin_with_prefix(&pending.request.prompt, &pending.request.config)
                         .map(|_| ())
@@ -1651,28 +1706,18 @@ impl<'m> Engine<'m> {
             .collect()
     }
 
-    /// Workers the planned round may actually use: the configured count,
-    /// clamped to 1 by the copy-on-write determinism gate. A *budgeted*
-    /// session still mapping shared prefix blocks may CoW-fork inside them
-    /// this very step, and the fork's `Arc::strong_count` probe must observe
-    /// its neighbours' releases in sequential order to fork (and count
-    /// allocations) identically — so such rounds run sequentially. Unbudgeted
-    /// sessions never write inside attached blocks and stay parallel.
+    /// Workers the planned round may actually use: simply the configured
+    /// count. Copy-on-write writes need no sequential fallback — the fork
+    /// decision is one atomic [`SharedBlockPool::fork_block`] probe under the
+    /// pool lock, so sessions that may CoW-fork shared prefix blocks this very
+    /// step (budgeted sessions still mapping them) parallelize like everyone
+    /// else, with identical aggregate allocation counts.
     fn decode_parallelism(&self, plan: &[bool]) -> usize {
         let workers = self.config.decode_workers;
-        if workers <= 1 {
+        if workers <= 1 || plan.is_empty() {
             return 1;
         }
-        let fork_risky = self.running.iter().zip(plan).any(|(r, &planned)| {
-            planned
-                && r.request.effective_budget(self.config.budget).is_some()
-                && r.session.cache().shared_block_count() > 0
-        });
-        if fork_risky {
-            1
-        } else {
-            workers
-        }
+        workers
     }
 
     /// **Execute** phase: runs [`Session::step`] for every planned session on
@@ -1792,10 +1837,9 @@ impl<'m> Engine<'m> {
         executed
     }
 
-    /// One decode round: sequential when `decode_workers` is 1 (or the CoW
-    /// determinism gate trips), otherwise plan → parallel-execute →
-    /// serialized-commit. Both paths drain [`CancelSignal`] mailbox entries
-    /// at their serialization points.
+    /// One decode round: sequential when `decode_workers` is 1, otherwise
+    /// plan → parallel-execute → serialized-commit. Both paths drain
+    /// [`CancelSignal`] mailbox entries at their serialization points.
     fn decode_round(&mut self) -> usize {
         let plan = self.plan_decode();
         let workers = self.decode_parallelism(&plan);
@@ -2460,6 +2504,68 @@ mod tests {
         }
     }
 
+    /// The PR 6 worker pool fell back to sequential decode whenever a
+    /// budgeted session still mapped shared blocks. The pool-level atomic
+    /// fork probe (`BlockPool::fork_block`) removed that fallback: the round
+    /// fans out even while the plan contains budgeted sessions whose prefix
+    /// blocks are still shared, and the round's own evictions CoW-fork those
+    /// blocks under the fanned-out workers.
+    #[test]
+    fn budgeted_sessions_still_sharing_blocks_decode_in_parallel() {
+        let model = ModelFamily::Tiny.build(46);
+        let bytes = model.empty_cache().bytes_per_token();
+        let mut engine = Engine::new(
+            &model,
+            ServerConfig::new(
+                PolicySpec::keyformer_default(),
+                // Budget exactly the prompt: the sessions enter their first
+                // decode round before any eviction, so every prefix block is
+                // still shared when the round fans out.
+                Some(CacheBudgetSpec::with_fraction(1.0).unwrap()),
+                256 * bytes,
+            )
+            .with_block_size(4)
+            .with_prefix_sharing(true)
+            .with_decode_workers(4),
+        )
+        .unwrap();
+        let shared = prompt(16, 9);
+        engine
+            .submit(Request::new(0, shared.clone(), GenerationConfig::new(8)))
+            .unwrap();
+        engine
+            .submit(Request::new(1, shared, GenerationConfig::new(8)))
+            .unwrap();
+        engine.step();
+        engine.step();
+        assert_eq!(engine.running(), 2);
+        assert!(
+            engine.stats().prefix_tokens_reused > 0,
+            "second request attached to the shared prefix"
+        );
+        assert!(
+            engine.pool_stats().shared_blocks > 0,
+            "prefix blocks still shared entering the decode round"
+        );
+
+        engine.step += 1;
+        let plan = engine.plan_decode();
+        assert_eq!(plan, vec![true, true]);
+        assert_eq!(
+            engine.decode_parallelism(&plan),
+            4,
+            "budgeted-but-shared sessions must not force a sequential fallback"
+        );
+        let results = engine.execute_decode(&plan, 4);
+        assert!(results.iter().all(|r| matches!(r, Some(Ok(_)))));
+        let taken = engine.cancel_signal.take();
+        engine.commit_decode(results, &taken);
+
+        engine.run(10_000);
+        assert!(engine.is_idle());
+        assert_eq!(engine.completions().len(), 2);
+    }
+
     /// The cancel-races-parallel-step contract, deterministically: a
     /// cancellation signalled *between* the execute and commit phases retires
     /// the request exactly once, returns its blocks and reservation, and
@@ -2498,7 +2604,7 @@ mod tests {
         let plan = engine.plan_decode();
         assert_eq!(plan, vec![true, true]);
         let workers = engine.decode_parallelism(&plan);
-        assert!(workers > 1, "gate must not trip: all blocks are private");
+        assert!(workers > 1, "a 2-session plan fans out at 4 workers");
         let results = engine.execute_decode(&plan, workers);
         assert!(results.iter().all(|r| matches!(r, Some(Ok(_)))));
         signal.cancel(doomed.id());
@@ -2639,5 +2745,117 @@ mod tests {
         for kind in kinds {
             assert!(!kind.to_string().is_empty());
         }
+    }
+
+    /// The tentpole's capacity mechanism: the same byte pool converts to 4x
+    /// the blocks when the engine stores sealed KV blocks as u8, because
+    /// `bytes_per_slot` accounts in quantized bytes.
+    #[test]
+    fn u8_pool_holds_four_times_the_blocks_of_f32() {
+        let model = ModelFamily::Tiny.build(31);
+        let pool_bytes = model.empty_cache().bytes_per_token() * 128;
+        let budget = Some(CacheBudgetSpec::new(0.5, 0.3).unwrap());
+        let config = ServerConfig::new(PolicySpec::keyformer_default(), budget, pool_bytes)
+            .with_block_size(4);
+        let f32_engine = Engine::new(&model, config).unwrap();
+        let u8_engine = Engine::new(&model, config.with_kv_dtype(KvDtype::U8)).unwrap();
+        assert_eq!(u8_engine.total_blocks(), 4 * f32_engine.total_blocks());
+        assert_eq!(
+            u8_engine.bytes_per_block() * 4,
+            f32_engine.bytes_per_block()
+        );
+        assert_eq!(
+            u8_engine.bytes_per_token() * 4,
+            f32_engine.bytes_per_token()
+        );
+    }
+
+    /// A u8-configured engine serves requests end to end, and a u8 override
+    /// on an f32 engine narrows without error; only widening (f32 requests
+    /// into a u8-sized pool) is rejected at submission.
+    #[test]
+    fn kv_dtype_overrides_narrow_but_never_widen() {
+        let model = ModelFamily::Tiny.build(32);
+        let pool_bytes = model.empty_cache().bytes_per_token() * 256;
+        let budget = Some(CacheBudgetSpec::new(0.5, 0.3).unwrap());
+        let base = ServerConfig::new(PolicySpec::keyformer_default(), budget, pool_bytes)
+            .with_block_size(4);
+
+        let mut u8_engine = Engine::new(&model, base.with_kv_dtype(KvDtype::U8)).unwrap();
+        let err = u8_engine
+            .submit_with(
+                Request::new(0, prompt(12, 0), GenerationConfig::new(3)),
+                SubmitOptions::new().with_kv_dtype(KvDtype::F32),
+            )
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("wider"),
+            "widening must be rejected: {err}"
+        );
+        u8_engine
+            .submit(Request::new(1, prompt(12, 1), GenerationConfig::new(3)))
+            .unwrap();
+        u8_engine.run(10_000);
+        assert_eq!(u8_engine.completions().len(), 1);
+        assert_eq!(u8_engine.completions()[0].output.generated.len(), 3);
+
+        let mut f32_engine = Engine::new(&model, base).unwrap();
+        f32_engine
+            .submit_with(
+                Request::new(2, prompt(12, 2), GenerationConfig::new(3)),
+                SubmitOptions::new().with_kv_dtype(KvDtype::U8),
+            )
+            .unwrap();
+        f32_engine.run(10_000);
+        assert_eq!(f32_engine.completions().len(), 1);
+    }
+
+    /// Prefix entries are keyed by (policy, dtype): requests of different
+    /// dtypes never attach to each other's prefixes, while same-dtype
+    /// requests still share.
+    #[test]
+    fn kv_dtype_partitions_the_prefix_registry() {
+        let model = ModelFamily::Tiny.build(33);
+        let pool_bytes = model.empty_cache().bytes_per_token() * 512;
+        let budget = Some(CacheBudgetSpec::new(0.5, 0.3).unwrap());
+        let config = ServerConfig::new(PolicySpec::keyformer_default(), budget, pool_bytes)
+            .with_block_size(4)
+            .with_prefix_sharing(true);
+        let mut engine = Engine::new(&model, config).unwrap();
+        let shared = prompt(16, 7);
+
+        engine
+            .submit_with(
+                Request::new(0, shared.clone(), GenerationConfig::new(2)),
+                SubmitOptions::new().with_kv_dtype(KvDtype::U8),
+            )
+            .unwrap();
+        engine.run(10_000);
+        assert_eq!(engine.stats().prefix_tokens_reused, 0);
+
+        // Same prompt at the engine-default f32 dtype: no cross-dtype reuse.
+        engine
+            .submit(Request::new(1, shared.clone(), GenerationConfig::new(2)))
+            .unwrap();
+        engine.run(10_000);
+        assert_eq!(
+            engine.stats().prefix_tokens_reused,
+            0,
+            "prefixes must not cross dtypes"
+        );
+
+        // Same prompt at u8 again: same-dtype reuse still works.
+        engine
+            .submit_with(
+                Request::new(2, shared, GenerationConfig::new(2)),
+                SubmitOptions::new().with_kv_dtype(KvDtype::U8),
+            )
+            .unwrap();
+        engine.run(10_000);
+        assert!(
+            engine.stats().prefix_tokens_reused > 0,
+            "same-dtype prefixes share"
+        );
+        assert_eq!(engine.completions().len(), 3);
     }
 }

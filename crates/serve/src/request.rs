@@ -1,6 +1,7 @@
 //! Request and completion types of the serving layer.
 
 use keyformer_core::budget::CacheBudgetSpec;
+use keyformer_core::cache::KvDtype;
 use keyformer_core::spec::PolicySpec;
 use keyformer_core::CoreError;
 use keyformer_model::generation::{GenerationConfig, GenerationOutput};
@@ -89,10 +90,16 @@ pub struct SubmitOptions {
     /// or decoding), immediately releasing its blocks and reservations.
     /// `None` (the default) never expires.
     pub deadline_steps: Option<usize>,
+    /// Per-submission KV storage precision. `None` (the default) inherits the
+    /// engine's [`crate::ServerConfig::kv_dtype`]. An override may only
+    /// *narrow* the dtype (fewer bytes per value than the engine pool was
+    /// sized for); a wider override is rejected at
+    /// [`crate::Engine::submit_with`].
+    pub kv_dtype: Option<KvDtype>,
 }
 
 impl SubmitOptions {
-    /// Default options: priority 0, no deadline.
+    /// Default options: priority 0, no deadline, engine-default KV dtype.
     pub fn new() -> Self {
         SubmitOptions::default()
     }
@@ -107,6 +114,13 @@ impl SubmitOptions {
     /// completes within `steps` scheduler steps of submission.
     pub fn with_deadline_steps(mut self, steps: usize) -> Self {
         self.deadline_steps = Some(steps);
+        self
+    }
+
+    /// Stores this request's sealed KV blocks at `dtype` instead of the
+    /// engine default; see [`SubmitOptions::kv_dtype`].
+    pub fn with_kv_dtype(mut self, dtype: KvDtype) -> Self {
+        self.kv_dtype = Some(dtype);
         self
     }
 }
@@ -385,11 +399,14 @@ mod tests {
         assert_eq!(plain, SubmitOptions::default());
         assert_eq!(plain.priority, 0);
         assert_eq!(plain.deadline_steps, None);
+        assert_eq!(plain.kv_dtype, None);
         let tuned = SubmitOptions::new()
             .with_priority(3)
-            .with_deadline_steps(40);
+            .with_deadline_steps(40)
+            .with_kv_dtype(KvDtype::U8);
         assert_eq!(tuned.priority, 3);
         assert_eq!(tuned.deadline_steps, Some(40));
+        assert_eq!(tuned.kv_dtype, Some(KvDtype::U8));
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! f32-default bit-identity regression: the quantized KV storage added in this
+//! PR must be invisible while `KvDtype::F32` (the default) is selected.
+//!
+//! The fingerprints below were captured from the pre-quantization build (PR 6
+//! HEAD) and must never change for the f32 default: each one hashes every
+//! observable output of a small serving run — generated tokens, per-layer
+//! final cache slot counts and byte footprints — across the whole policy zoo.
+//! A changed fingerprint means the dtype plumbing altered f32 numerics or
+//! scheduling, which is exactly the regression this test exists to catch.
+
+use keyformer::core::budget::CacheBudgetSpec;
+use keyformer::core::spec::PolicySpec;
+use keyformer::model::families::ModelFamily;
+use keyformer::model::generation::GenerationConfig;
+use keyformer::serve::{Engine, Request, ServerConfig};
+
+const MODEL_SEED: u64 = 23;
+const PROMPT_LEN: usize = 12;
+const GEN_TOKENS: usize = 6;
+const REQUESTS: usize = 5;
+
+/// FNV-1a over a byte stream: the same stable hash the prefix registry uses,
+/// reimplemented here so the fingerprint does not depend on internal APIs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The full policy zoo with the budgets the parallel-scaling experiment uses.
+fn zoo() -> Vec<(&'static str, PolicySpec, Option<CacheBudgetSpec>)> {
+    let budget = CacheBudgetSpec::with_fraction(0.5).expect("valid fraction");
+    vec![
+        ("Full", PolicySpec::Full, None),
+        ("Window", PolicySpec::Window, Some(budget)),
+        (
+            "Dilated",
+            PolicySpec::DilatedWindow { dilation: 1 },
+            Some(budget),
+        ),
+        ("KeyOnly", PolicySpec::KeyOnly, Some(budget)),
+        ("H2O", PolicySpec::h2o_default(), Some(budget)),
+        ("Damped", PolicySpec::Damped { alpha: 0.9 }, Some(budget)),
+        (
+            "StreamingLLM",
+            PolicySpec::streaming_default(),
+            Some(budget),
+        ),
+        ("Keyformer", PolicySpec::keyformer_default(), Some(budget)),
+    ]
+}
+
+/// Runs one policy's workload to idle and hashes everything observable about
+/// its completions.
+fn run_fingerprint(policy: PolicySpec, budget: Option<CacheBudgetSpec>) -> u64 {
+    let model = ModelFamily::Tiny.build(MODEL_SEED);
+    let bytes_per_token = model.empty_cache().bytes_per_token();
+    let pool_bytes = REQUESTS * (PROMPT_LEN + GEN_TOKENS + 8) * bytes_per_token;
+    let config = ServerConfig::new(policy, budget, pool_bytes);
+    let mut engine = Engine::new(&model, config).expect("config is valid");
+    engine.record_events(false);
+    for i in 0..REQUESTS {
+        let salt = i as u32;
+        let prompt: Vec<u32> = (0..PROMPT_LEN)
+            .map(|t| (t as u32 * 13 + 7 + salt * 31) % 120)
+            .collect();
+        engine
+            .submit(Request::new(
+                i as u64,
+                prompt,
+                GenerationConfig::new(GEN_TOKENS),
+            ))
+            .expect("roomy pool admits everything");
+    }
+    engine.run(100_000);
+    let mut streams: Vec<(u64, String)> = engine
+        .completions()
+        .iter()
+        .map(|c| (c.id.raw(), format!("{:?}", c.output)))
+        .collect();
+    streams.sort_unstable_by_key(|(id, _)| *id);
+    assert_eq!(streams.len(), REQUESTS, "every request must complete");
+    fnv1a(format!("{streams:?}").as_bytes())
+}
+
+#[test]
+fn f32_default_zoo_fingerprints_match_pre_quantization_build() {
+    // Captured from the pre-quantization build; see the module docs.
+    let golden: &[(&str, u64)] = &[
+        ("Full", 0x6b21_0739_a2de_a353),
+        ("Window", 0x0591_bf9f_8995_f9a1),
+        ("Dilated", 0xc930_8542_6d0d_aaa4),
+        ("KeyOnly", 0xd6bd_5e02_dbbf_4d64),
+        ("H2O", 0x473a_3f9f_f1e2_d78d),
+        ("Damped", 0x473a_3f9f_f1e2_d78d),
+        ("StreamingLLM", 0x597b_e3f6_143c_f7ba),
+        ("Keyformer", 0x29f9_b0cf_ed58_54c4),
+    ];
+    let mut mismatches = Vec::new();
+    for ((label, policy, budget), &(golden_label, golden_hash)) in zoo().into_iter().zip(golden) {
+        assert_eq!(label, golden_label, "zoo and golden table out of sync");
+        let actual = run_fingerprint(policy, budget);
+        if actual != golden_hash {
+            mismatches.push(format!("(\"{label}\", 0x{actual:016x}),"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "f32-default outputs diverged from the pre-quantization build:\n{}",
+        mismatches.join("\n")
+    );
+}

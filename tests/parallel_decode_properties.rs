@@ -254,6 +254,51 @@ proptest! {
     }
 }
 
+/// PR 7 fallback-removal regression: PR 6 serialized any decode round whose
+/// plan contained a budgeted session still mapping shared blocks. With the
+/// pool-level atomic fork probe that fallback is gone — so this schedule,
+/// engineered to hit exactly that window, must fan out and stay identical.
+/// Budgeting exactly the prompt means every session enters its *first* decode
+/// round with its whole prefix still shared, and the round's own appends
+/// trigger the evictions that copy-on-write-fork those blocks while the
+/// workers are running.
+#[test]
+fn budgeted_sessions_still_sharing_at_decode_stay_identical() {
+    let model = ModelFamily::Tiny.build(59);
+    let bytes_per_token = model.empty_cache().bytes_per_token();
+    let budget = Some(CacheBudgetSpec::with_fraction(1.0).unwrap());
+    let requests = shared_prefix_requests(4, 16, 20, 6, 59);
+    let run = |workers: usize| {
+        let config = ServerConfig::new(
+            PolicySpec::keyformer_default(),
+            budget,
+            256 * bytes_per_token,
+        )
+        .with_block_size(4)
+        .with_prefix_sharing(true)
+        .with_decode_workers(workers);
+        fingerprint(&model, config, &requests)
+    };
+    let sequential = run(1);
+    assert!(
+        sequential.stats.prefix_tokens_reused > 0,
+        "the schedule must actually attach to the shared prefix"
+    );
+    assert_eq!(
+        sequential.completions.len(),
+        requests.len(),
+        "every request completes"
+    );
+    for workers in PARALLEL_WORKERS {
+        let parallel = run(workers);
+        assert!(
+            parallel == sequential,
+            "{workers} workers diverged on budgeted-but-still-shared sessions\n\
+             sequential: {sequential:?}\nparallel: {parallel:?}"
+        );
+    }
+}
+
 /// Property 3 (soak): 100 randomized schedules on a tight strict pool with
 /// sharing enabled — the mix that forces preemption and copy-on-write forks —
 /// drain to an empty pool and registry at the worker count under test
