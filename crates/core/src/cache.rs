@@ -56,7 +56,21 @@ use crate::CoreError;
 use keyformer_tensor::{Matrix, TensorError};
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Source of globally-unique block payload generations. A fresh value is drawn
+/// whenever a block's *existing* rows change meaning — creation, copy-on-write
+/// fork, compaction rewrite, quantize-on-seal — and never on a plain append
+/// (which only adds rows). `(BlockId, generation)` therefore mismatches exactly
+/// when derived per-row state (e.g. the rotated-key cache) must be rebuilt,
+/// even across pool block-id reuse: a freed id handed to a new block always
+/// carries a generation no previous holder ever saw.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(0);
+
+fn next_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Storage precision of a layer's KV block payloads.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -162,10 +176,22 @@ pub(crate) enum KvBlockData {
 }
 
 impl KvBlockData {
-    fn new(num_heads: usize) -> Self {
+    fn new(num_heads: usize, head_dim: usize, block_size: usize) -> Self {
+        // Matrices are created at their final column width with capacity for a
+        // full block of rows up front, so the per-token `push_row` appends that
+        // fill the block never touch the allocator.
+        let mats = || -> Vec<Matrix> {
+            (0..num_heads)
+                .map(|_| {
+                    let mut m = Matrix::zeros(0, head_dim);
+                    m.reserve_rows(block_size);
+                    m
+                })
+                .collect()
+        };
         KvBlockData::F32 {
-            keys: (0..num_heads).map(|_| Matrix::zeros(0, 0)).collect(),
-            values: (0..num_heads).map(|_| Matrix::zeros(0, 0)).collect(),
+            keys: mats(),
+            values: mats(),
         }
     }
 
@@ -312,6 +338,7 @@ impl KvBlockData {
 #[derive(Debug, Clone)]
 pub(crate) struct SharedKvBlock {
     pub(crate) id: BlockId,
+    pub(crate) generation: u64,
     pub(crate) data: Arc<KvBlockData>,
 }
 
@@ -338,20 +365,40 @@ impl SharedKvBlock {
 #[derive(Debug)]
 struct KvBlock {
     id: BlockId,
+    /// Payload generation: globally unique, refreshed whenever existing rows
+    /// change meaning (see [`NEXT_GENERATION`]). Preserved by clones that keep
+    /// the payload byte-identical (session fork, prefix attach).
+    generation: u64,
     data: Arc<KvBlockData>,
 }
 
 impl KvBlock {
-    fn new(id: BlockId, num_heads: usize) -> Self {
+    fn new(id: BlockId, num_heads: usize, head_dim: usize, block_size: usize) -> Self {
         KvBlock {
             id,
-            data: Arc::new(KvBlockData::new(num_heads)),
+            generation: next_generation(),
+            data: Arc::new(KvBlockData::new(num_heads, head_dim, block_size)),
         }
     }
 
     fn byte_size(&self) -> usize {
         self.data.byte_size()
     }
+}
+
+/// Identity and fill level of one block of a layer's table, as seen by
+/// derived-state caches: the rotated-key cache keys its per-block entries on
+/// `(id, generation)` and tops up rows when only `rows` grew.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvBlockMeta {
+    /// Pool id of the block.
+    pub id: BlockId,
+    /// Globally-unique payload generation; changes whenever the block's
+    /// existing rows change meaning (CoW fork, compaction rewrite,
+    /// quantize-on-seal) and never on a plain append.
+    pub generation: u64,
+    /// Rows currently held by the block.
+    pub rows: usize,
 }
 
 /// Which of the two stored tensors a [`KvSlice`] reads.
@@ -483,6 +530,186 @@ impl<'a> KvSlice<'a> {
         Ok(out)
     }
 
+    /// Copies the row of logical slot `slot` into `out`, dequantizing sealed
+    /// `u8` rows element-wise — the same arithmetic as [`KvSlice::row`]
+    /// without the per-row allocation its `Cow::Owned` arm pays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= len()` or `out.len()` differs from the head width.
+    pub fn copy_row_into(&self, slot: usize, out: &mut [f32]) {
+        assert!(slot < self.len, "slot index out of bounds");
+        assert_eq!(out.len(), self.head_dim, "output width must match head_dim");
+        let row = slot % self.block_size;
+        match &*self.blocks[slot / self.block_size].data {
+            KvBlockData::F32 { keys, values } => {
+                let m = match self.component {
+                    KvComponent::Keys => &keys[self.head],
+                    KvComponent::Values => &values[self.head],
+                };
+                out.copy_from_slice(m.row(row));
+            }
+            KvBlockData::U8 {
+                keys,
+                values,
+                head_dim,
+                key_map,
+                value_map,
+                ..
+            } => {
+                let (codes, map) = match self.component {
+                    KvComponent::Keys => (&keys[self.head], key_map),
+                    KvComponent::Values => (&values[self.head], value_map),
+                };
+                let src = &codes[row * head_dim..(row + 1) * head_dim];
+                for (o, &q) in out.iter_mut().zip(src) {
+                    *o = map.dequantize(q);
+                }
+            }
+        }
+    }
+
+    /// Visits every live row in slot order without allocating: `f32` rows are
+    /// passed as direct borrows into the block, sealed `u8` rows are
+    /// dequantized into `scratch` first (the same element-wise arithmetic as
+    /// [`KvSlice::row`]). This is the visitor attention's score loop uses
+    /// instead of per-row `Cow::to_vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch.len()` differs from the head width.
+    pub fn for_each_row(&self, scratch: &mut [f32], mut f: impl FnMut(usize, &[f32])) {
+        assert_eq!(
+            scratch.len(),
+            self.head_dim,
+            "scratch width must match head_dim"
+        );
+        let mut slot = 0;
+        for block in self.blocks.iter() {
+            if slot == self.len {
+                break;
+            }
+            let rows_here = (self.len - slot).min(self.block_size);
+            match &*block.data {
+                KvBlockData::F32 { keys, values } => {
+                    let m = match self.component {
+                        KvComponent::Keys => &keys[self.head],
+                        KvComponent::Values => &values[self.head],
+                    };
+                    for r in 0..rows_here {
+                        f(slot + r, m.row(r));
+                    }
+                }
+                KvBlockData::U8 {
+                    keys,
+                    values,
+                    head_dim,
+                    key_map,
+                    value_map,
+                    ..
+                } => {
+                    let (codes, map) = match self.component {
+                        KvComponent::Keys => (&keys[self.head], key_map),
+                        KvComponent::Values => (&values[self.head], value_map),
+                    };
+                    for r in 0..rows_here {
+                        let src = &codes[r * head_dim..(r + 1) * head_dim];
+                        for (o, &q) in scratch.iter_mut().zip(src) {
+                            *o = map.dequantize(q);
+                        }
+                        f(slot + r, scratch);
+                    }
+                }
+            }
+            slot += rows_here;
+        }
+    }
+
+    /// [`KvSlice::vecmat`] into caller-owned buffers: the product lands in
+    /// `out` and `scratch` holds the fused-dequantization accumulator, so
+    /// steady-state attention pays no allocation. Bit-identical to
+    /// [`KvSlice::vecmat`] — same per-block accumulation order in both arms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `v.len() != len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` or `scratch.len()` differs from the head width.
+    pub fn vecmat_into(
+        &self,
+        v: &[f32],
+        out: &mut [f32],
+        scratch: &mut [f32],
+    ) -> Result<(), TensorError> {
+        if v.len() != self.len {
+            return Err(TensorError::ShapeMismatch {
+                op: "vecmat",
+                lhs: (1, v.len()),
+                rhs: self.shape(),
+            });
+        }
+        assert_eq!(out.len(), self.head_dim, "output width must match head_dim");
+        assert_eq!(
+            scratch.len(),
+            self.head_dim,
+            "scratch width must match head_dim"
+        );
+        out.fill(0.0);
+        for (block_idx, coeffs) in v.chunks(self.block_size).enumerate() {
+            match &*self.blocks[block_idx].data {
+                KvBlockData::F32 { keys, values } => {
+                    let m = match self.component {
+                        KvComponent::Keys => &keys[self.head],
+                        KvComponent::Values => &values[self.head],
+                    };
+                    for (r, &coeff) in coeffs.iter().enumerate() {
+                        if coeff == 0.0 {
+                            continue;
+                        }
+                        for (o, &x) in out.iter_mut().zip(m.row(r)) {
+                            *o += coeff * x;
+                        }
+                    }
+                }
+                KvBlockData::U8 {
+                    keys,
+                    values,
+                    head_dim,
+                    key_map,
+                    value_map,
+                    ..
+                } => {
+                    let (codes, map) = match self.component {
+                        KvComponent::Keys => (&keys[self.head], key_map),
+                        KvComponent::Values => (&values[self.head], value_map),
+                    };
+                    // Same factoring as `vecmat`:
+                    // sum(coeff * (q - zero) * scale) over rows is
+                    // scale * (sum(coeff * q) - zero * sum(coeff)).
+                    scratch.fill(0.0);
+                    let mut coeff_sum = 0.0f32;
+                    for (r, &coeff) in coeffs.iter().enumerate() {
+                        if coeff == 0.0 {
+                            continue;
+                        }
+                        coeff_sum += coeff;
+                        let row = &codes[r * *head_dim..(r + 1) * *head_dim];
+                        for (a, &q) in scratch.iter_mut().zip(row) {
+                            *a += coeff * f32::from(q);
+                        }
+                    }
+                    let offset = map.zero_point * coeff_sum;
+                    for (o, &a) in out.iter_mut().zip(scratch.iter()) {
+                        *o += map.scale * (a - offset);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Copies the view into a dense matrix (diagnostics / tests).
     pub fn to_matrix(&self) -> Matrix {
         let mut m = Matrix::zeros(0, 0);
@@ -599,6 +826,23 @@ impl LayerKvCache {
         self.blocks.iter().map(|b| b.id).collect()
     }
 
+    /// Identity and fill level of block `idx` of this layer's table. Derived
+    /// per-row caches (rotated keys) compare `(id, generation)` to decide
+    /// whether their copy of the block is still valid and `rows` to top up
+    /// freshly appended rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= num_blocks()`.
+    pub fn block_meta(&self, idx: usize) -> KvBlockMeta {
+        let b = &self.blocks[idx];
+        KvBlockMeta {
+            id: b.id,
+            generation: b.generation,
+            rows: b.data.rows(),
+        }
+    }
+
     /// Token slots covered by the allocated blocks (`num_blocks * block_size`).
     /// `allocated_slots() - len()` is this layer's internal fragmentation.
     pub fn allocated_slots(&self) -> usize {
@@ -638,6 +882,7 @@ impl LayerKvCache {
         let b = &self.blocks[idx];
         SharedKvBlock {
             id: b.id,
+            generation: b.generation,
             data: Arc::clone(&b.data),
         }
     }
@@ -684,8 +929,11 @@ impl LayerKvCache {
         self.pool.retain(block.id)?;
         let start = self.positions.len();
         self.positions.extend(start..start + self.block_size);
+        // The payload is byte-identical to the donor's, so the generation is
+        // preserved: cached rotations derived from the donor stay valid.
         self.blocks.push(KvBlock {
             id: block.id,
+            generation: block.generation,
             data: block.data,
         });
         Ok(())
@@ -705,8 +953,11 @@ impl LayerKvCache {
             None => Ok(()),
             Some(new_id) => {
                 let data = KvBlockData::clone(&self.blocks[idx].data);
+                // A fork exists to be written: give it a fresh generation so
+                // derived caches never mistake it for the original payload.
                 self.blocks[idx] = KvBlock {
                     id: new_id,
+                    generation: next_generation(),
                     data: Arc::new(data),
                 };
                 self.cow_forks += 1;
@@ -741,6 +992,7 @@ impl LayerKvCache {
             self.pool.retain(b.id)?;
             blocks.push(KvBlock {
                 id: b.id,
+                generation: b.generation,
                 data: Arc::clone(&b.data),
             });
         }
@@ -829,13 +1081,71 @@ impl LayerKvCache {
                 )));
             }
         }
+        self.append_with(position, |keys, values| {
+            for h in 0..keys_per_head.len() {
+                keys[h].push_row(&keys_per_head[h]);
+                values[h].push_row(&values_per_head[h]);
+            }
+        })
+    }
+
+    /// Appends one token's keys and values from flat slices laid out
+    /// `[head 0 | head 1 | ...]`, each `num_heads * head_dim` long.
+    ///
+    /// Identical to [`LayerKvCache::append`] — the same rows land in the same
+    /// order — without requiring the caller to materialize per-head `Vec`s;
+    /// this is the allocation-free form the forward workspace uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if either slice length is wrong,
+    /// and [`CoreError::PoolExhausted`] if a strict pool has no block left.
+    pub fn append_from_slices(
+        &mut self,
+        position: usize,
+        keys: &[f32],
+        values: &[f32],
+    ) -> Result<(), CoreError> {
+        let want = self.num_heads * self.head_dim;
+        if keys.len() != want || values.len() != want {
+            return Err(CoreError::InvalidConfig(format!(
+                "expected {} heads x head_dim {} = {want} values, got {} keys / {} values",
+                self.num_heads,
+                self.head_dim,
+                keys.len(),
+                values.len()
+            )));
+        }
+        let head_dim = self.head_dim;
+        self.append_with(position, |bk, bv| {
+            for h in 0..bk.len() {
+                bk[h].push_row(&keys[h * head_dim..(h + 1) * head_dim]);
+                bv[h].push_row(&values[h * head_dim..(h + 1) * head_dim]);
+            }
+        })
+    }
+
+    /// Shared tail of the append paths: allocates a tail block when needed,
+    /// forks it private, lets `push` add one row per head, then seals on fill.
+    fn append_with(
+        &mut self,
+        position: usize,
+        push: impl FnOnce(&mut Vec<Matrix>, &mut Vec<Matrix>),
+    ) -> Result<(), CoreError> {
         if self.needs_block_for_append() {
             let id = self.pool.alloc()?;
-            self.blocks.push(KvBlock::new(id, self.num_heads));
+            self.blocks.push(KvBlock::new(
+                id,
+                self.num_heads,
+                self.head_dim,
+                self.block_size,
+            ));
+            // One reservation per fresh block keeps the per-token position
+            // pushes allocation-free until the block fills.
+            self.positions.reserve(self.block_size);
         }
         // Appending into a partially-filled block another sequence still maps
         // (a fork sharing our tail) must not mutate the shared rows: fork first.
-        let num_heads = self.num_heads;
         let block_size = self.block_size;
         let dtype = self.dtype;
         let block = self.block_data_mut(self.blocks.len() - 1)?;
@@ -845,13 +1155,17 @@ impl LayerKvCache {
                 // sealed tail would mean the seal-on-full invariant was broken.
                 unreachable!("append reached a sealed block");
             };
-            for h in 0..num_heads {
-                keys[h].push_row(&keys_per_head[h]);
-                values[h].push_row(&values_per_head[h]);
-            }
+            push(keys, values);
         }
-        if dtype == KvDtype::U8 && block.rows() == block_size {
+        let sealed = dtype == KvDtype::U8 && block.rows() == block_size;
+        if sealed {
             block.seal();
+        }
+        if sealed {
+            // Quantize-on-seal changes the dequantized value of every row
+            // already in the block: derived per-row state is stale.
+            let last = self.blocks.len() - 1;
+            self.blocks[last].generation = next_generation();
         }
         self.positions.push(position);
         Ok(())
@@ -871,6 +1185,22 @@ impl LayerKvCache {
         let bs = self.block_size();
         let new_len = retained.len();
         let needed = new_len.div_ceil(bs);
+        // Blocks compaction writes form a suffix of the kept table: `retained`
+        // is strictly increasing with `dst <= src`, so once one slot moves
+        // every later slot moves too. Everything from the first moved slot's
+        // destination block onwards (plus the truncated final block) gets a
+        // fresh generation below; the untouched identity prefix keeps its
+        // generations, so derived caches keep their rotations for it.
+        let mut first_touched = needed;
+        for (dst, &src) in retained.iter().enumerate() {
+            if dst != src {
+                first_touched = dst / bs;
+                break;
+            }
+        }
+        if needed > 0 && new_len < needed * bs {
+            first_touched = first_touched.min(needed - 1);
+        }
         // Copy-on-write pre-pass: every block compaction will *write* — a
         // destination of a moved row, or the truncated final block — must be
         // privately owned first, and unsealed back to f32 staging if it was
@@ -948,6 +1278,9 @@ impl LayerKvCache {
                     Self::private_data_mut(block).seal();
                 }
             }
+        }
+        for block in self.blocks[first_touched..].iter_mut() {
+            block.generation = next_generation();
         }
         Ok(())
     }
@@ -1683,6 +2016,120 @@ mod tests {
             .unwrap();
         assert_eq!(u8_layer.len(), 4);
         assert_eq!(f32_layer.len(), 4);
+    }
+
+    #[test]
+    fn kv_slice_into_variants_match_allocating_reads() {
+        let layers = [
+            filled_layer_in(7, SharedBlockPool::unbounded(3)),
+            filled_layer_u8(10, SharedBlockPool::unbounded(4)),
+        ];
+        for layer in &layers {
+            let n = layer.len();
+            let coeffs: Vec<f32> = (0..n)
+                .map(|i| if i % 3 == 0 { 0.0 } else { 0.1 * i as f32 })
+                .collect();
+            for h in 0..2 {
+                for view in [layer.keys(h), layer.values(h)] {
+                    let mut buf = vec![0.0f32; 3];
+                    let mut scratch = vec![0.0f32; 3];
+                    for slot in 0..n {
+                        view.copy_row_into(slot, &mut buf);
+                        assert_eq!(buf.as_slice(), &*view.row(slot));
+                    }
+                    let mut visited = 0;
+                    view.for_each_row(&mut scratch, |slot, row| {
+                        assert_eq!(slot, visited);
+                        assert_eq!(row, &*view.row(slot));
+                        visited += 1;
+                    });
+                    assert_eq!(visited, n);
+                    let mut out = vec![9.0f32; 3];
+                    view.vecmat_into(&coeffs, &mut out, &mut scratch).unwrap();
+                    assert_eq!(out, view.vecmat(&coeffs).unwrap());
+                    assert!(view.vecmat_into(&[1.0], &mut out, &mut scratch).is_err());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn append_from_slices_matches_append() {
+        for dtype in [KvDtype::F32, KvDtype::U8] {
+            let pool = SharedBlockPool::unbounded(3);
+            let mut a = LayerKvCache::with_pool_dtype(2, 3, pool.clone(), dtype);
+            let mut b = LayerKvCache::with_pool_dtype(2, 3, pool, dtype);
+            for i in 0..7 {
+                let k: Vec<Vec<f32>> = (0..2)
+                    .map(|h| (0..3).map(|d| wiggle(i, h, d)).collect())
+                    .collect();
+                let v: Vec<Vec<f32>> = (0..2)
+                    .map(|h| (0..3).map(|d| wiggle(i, h, d + 7)).collect())
+                    .collect();
+                a.append(i, &k, &v).unwrap();
+                b.append_from_slices(i, &k.concat(), &v.concat()).unwrap();
+            }
+            for slot in 0..7 {
+                for h in 0..2 {
+                    assert_eq!(a.keys(h).row(slot), b.keys(h).row(slot));
+                    assert_eq!(a.values(h).row(slot), b.values(h).row(slot));
+                }
+            }
+            assert!(b.append_from_slices(9, &[0.0; 5], &[0.0; 6]).is_err());
+        }
+    }
+
+    #[test]
+    fn block_generations_survive_appends_and_track_rewrites() {
+        let pool = SharedBlockPool::unbounded(4);
+        let mut layer = filled_layer_in(5, pool.clone());
+        let gen0 = layer.block_meta(0).generation;
+        let gen1 = layer.block_meta(1).generation;
+        assert_ne!(gen0, gen1, "generations are globally unique");
+        // Plain appends grow rows but keep the generation.
+        append_wiggles(&mut layer, 1);
+        assert_eq!(layer.block_meta(0).generation, gen0);
+        assert_eq!(layer.block_meta(1).generation, gen1);
+        assert_eq!(layer.block_meta(1).rows, 2);
+        // A CoW fork writing the shared tail gets a fresh generation; the
+        // donor's copy keeps its own.
+        let mut fork = layer.fork().unwrap();
+        assert_eq!(fork.block_meta(1).generation, gen1, "fork preserves");
+        append_wiggles(&mut fork, 1);
+        assert_ne!(fork.block_meta(1).generation, gen1);
+        assert_eq!(layer.block_meta(1).generation, gen1);
+        // Compaction: the identity prefix keeps its generation, every written
+        // block is refreshed.
+        layer.retain_slots(&[0, 1, 2, 3, 5]).unwrap();
+        assert_eq!(layer.block_meta(0).generation, gen0);
+        assert_ne!(layer.block_meta(1).generation, gen1);
+    }
+
+    #[test]
+    fn seal_on_fill_bumps_generation() {
+        let pool = SharedBlockPool::unbounded(4);
+        let mut layer = LayerKvCache::with_pool_dtype(2, 3, pool, KvDtype::U8);
+        append_wiggles(&mut layer, 3);
+        let staged = layer.block_meta(0);
+        assert_eq!(staged.rows, 3);
+        append_wiggles(&mut layer, 1);
+        let sealed = layer.block_meta(0);
+        assert_eq!(sealed.rows, 4);
+        assert_eq!(sealed.id, staged.id);
+        assert_ne!(
+            sealed.generation, staged.generation,
+            "quantize-on-seal rewrites every existing row's dequantized value"
+        );
+    }
+
+    #[test]
+    fn shared_prefix_blocks_keep_generation_across_attach() {
+        let pool = SharedBlockPool::unbounded(3);
+        let donor = filled_layer_in(6, pool.clone());
+        let donor_gen = donor.block_meta(0).generation;
+        let mut reader = LayerKvCache::with_pool(2, 3, pool);
+        reader.push_shared_block(donor.shared_block(0)).unwrap();
+        assert_eq!(reader.block_meta(0).generation, donor_gen);
     }
 
     #[test]

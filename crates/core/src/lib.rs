@@ -83,6 +83,7 @@ pub mod observation;
 pub mod policies;
 pub mod policy;
 pub mod prefix;
+pub mod rotated;
 pub mod spec;
 pub mod temperature;
 
@@ -90,7 +91,7 @@ pub use accumulator::{ScoreAccumulator, ScoreScope};
 pub use adjustment::LogitAdjustment;
 pub use block::{BlockId, BlockPool, BlockPoolStats, OvercommitPolicy, SharedBlockPool};
 pub use budget::{CacheBudget, CacheBudgetSpec};
-pub use cache::{KvCache, LayerKvCache};
+pub use cache::{KvBlockMeta, KvCache, LayerKvCache};
 pub use observation::{AttentionObservation, Phase};
 pub use policies::full::FullAttention;
 pub use policies::h2o::H2O;
@@ -99,6 +100,7 @@ pub use policies::streaming::StreamingLlm;
 pub use policies::window::WindowAttention;
 pub use policy::KvCachePolicy;
 pub use prefix::{PrefixRegistry, PrefixRegistryStats, SharedPrefixRegistry};
+pub use rotated::RotatedKeyCache;
 pub use spec::PolicySpec;
 pub use temperature::TemperatureSchedule;
 

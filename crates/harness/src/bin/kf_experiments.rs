@@ -22,11 +22,14 @@
 //! steps/sec vs `decode_workers`, token-identity verified against the
 //! sequential baseline), and running `quantization` writes `BENCH_quant.json`
 //! (u8 vs f32 KV storage at a fixed byte pool: completed requests,
-//! utilization and ROUGE deltas per policy/budget) to the working directory,
-//! so CI can archive the serving trajectories as machine-readable data.
+//! utilization and ROUGE deltas per policy/budget), and running `hotpath`
+//! writes `BENCH_hotpath.json` (legacy allocating forward path vs the
+//! zero-allocation workspace path: ns/token, tokens/sec and speedup, token
+//! streams verified identical) to the working directory, so CI can archive
+//! the serving trajectories as machine-readable data.
 
 use keyformer_harness::report::Table;
-use keyformer_harness::{paging, parallel, prefix, quantization, serving, streaming};
+use keyformer_harness::{hotpath, paging, parallel, prefix, quantization, serving, streaming};
 use keyformer_harness::{run_experiment, ExperimentId};
 use serde::Serialize;
 
@@ -44,6 +47,8 @@ const LATENCY_JSON: &str = "BENCH_latency.json";
 const PARALLEL_JSON: &str = "BENCH_parallel.json";
 /// File the quantization experiment's machine-readable summary is written to.
 const QUANT_JSON: &str = "BENCH_quant.json";
+/// File the hot-path experiment's machine-readable summary is written to.
+const HOTPATH_JSON: &str = "BENCH_hotpath.json";
 
 /// Writes an experiment's machine-readable summary, exiting loudly on failure —
 /// a missing or stale JSON data point must not leave a previous run's file
@@ -92,6 +97,11 @@ fn run_with_artifacts(id: ExperimentId, samples: usize) -> Table {
         ExperimentId::Quantization => {
             let (table, summaries) = quantization::quantization_report(samples);
             write_summary(QUANT_JSON, &summaries);
+            table
+        }
+        ExperimentId::Hotpath => {
+            let (table, summaries) = hotpath::hotpath_report(samples);
+            write_summary(HOTPATH_JSON, &summaries);
             table
         }
         _ => run_experiment(id, samples),

@@ -1,0 +1,304 @@
+//! Forward hot-path experiment: legacy allocating path vs. the zero-allocation
+//! workspace path, measured in the same process.
+//!
+//! PR 8 made the per-token forward pass allocation-free in steady state
+//! ([`keyformer_model::workspace`]): a per-session [`keyformer_model::ForwardWorkspace`]
+//! reuses every buffer whose size the model configuration fixes, a per-layer
+//! rotated-key cache stops re-rotating every cached RoPE key on every decode
+//! step, and attention reads cache rows through fused, allocation-free
+//! visitors instead of per-row copies. The legacy path is kept callable
+//! ([`keyformer_model::ForwardPath::Legacy`]) precisely so this experiment can
+//! measure both implementations against the same weights in one process —
+//! no cross-build noise — and verify their token streams are identical.
+//!
+//! The grid covers the three positional families (RoPE gains the cached
+//! rotations; ALiBi and learned gain the fused row iteration), the two KV
+//! dtypes and a budgeted Keyformer configuration where eviction exercises the
+//! rotation cache's invalidation path. Wall-clock fields (`wall_ms`,
+//! `ns_per_token`, `tokens_per_sec`, `speedup`) vary run to run and are
+//! stripped by the CI identity check; everything else is deterministic.
+
+use crate::report::{fmt, Table};
+use keyformer_core::budget::CacheBudgetSpec;
+use keyformer_core::cache::KvDtype;
+use keyformer_core::spec::PolicySpec;
+use keyformer_model::families::ModelFamily;
+use keyformer_model::generation::{GenerationConfig, GenerationOutput};
+use keyformer_model::model::TransformerModel;
+use keyformer_model::session::Session;
+use keyformer_model::workspace::ForwardPath;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Weight seed of the hot-path experiment's models (distinct from the other
+/// benches so regressions cannot mask each other).
+const MODEL_SEED: u64 = 29;
+/// Prompt length of the measured requests.
+const PROMPT_LEN: usize = 64;
+/// Tokens generated per request — long relative to the prompt so the decode
+/// loop, not prefill, dominates the wall clock.
+const GEN_TOKENS: usize = 192;
+/// KV budget fraction applied to the budgeted configuration.
+const CACHE_FRACTION: f64 = 0.5;
+
+/// Machine-readable summary of one (configuration, forward-path) run, emitted
+/// as `BENCH_hotpath.json` by `kf_experiments`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HotpathSummary {
+    /// Configuration label (family / policy / KV dtype).
+    pub config: String,
+    /// `legacy` or `workspace`.
+    pub path: String,
+    /// Prompt tokens per request.
+    pub prompt_len: usize,
+    /// Tokens generated per request.
+    pub gen_tokens: usize,
+    /// Timed repetitions of the full request.
+    pub reps: usize,
+    /// Forward passes executed across all repetitions (prompt + generated).
+    pub forwards: usize,
+    /// Wall-clock milliseconds across all repetitions.
+    pub wall_ms: f64,
+    /// Nanoseconds per forward pass (one token through the full stack).
+    pub ns_per_token: f64,
+    /// Forward passes per wall-clock second.
+    pub tokens_per_sec: f64,
+    /// Wall-clock speedup over the same configuration's legacy run (1.0 for
+    /// the legacy rows themselves).
+    pub speedup: f64,
+    /// Whether this run's token stream is byte-identical to the legacy path's.
+    /// Anything but `true` is a correctness bug.
+    pub token_identical: bool,
+}
+
+/// One measured configuration of the grid.
+struct Config {
+    label: String,
+    family: ModelFamily,
+    policy: PolicySpec,
+    budget: Option<CacheBudgetSpec>,
+    dtype: KvDtype,
+}
+
+/// The measured grid: the headline full-attention RoPE row first (the
+/// acceptance bar's ≥ 2× claim is about that one), then the other positional
+/// families, the quantized store and a budgeted Keyformer row whose eviction
+/// exercises the rotated-key cache's invalidation path.
+fn hotpath_configs() -> Vec<Config> {
+    let budget = CacheBudgetSpec::with_fraction(CACHE_FRACTION).expect("valid fraction");
+    let pct = (CACHE_FRACTION * 100.0) as usize;
+    vec![
+        Config {
+            label: "GPT-J-like/Full/f32".into(),
+            family: ModelFamily::GptJLike,
+            policy: PolicySpec::Full,
+            budget: None,
+            dtype: KvDtype::F32,
+        },
+        Config {
+            label: "Cerebras-like/Full/f32".into(),
+            family: ModelFamily::CerebrasLike,
+            policy: PolicySpec::Full,
+            budget: None,
+            dtype: KvDtype::F32,
+        },
+        Config {
+            label: "MPT-like/Full/f32".into(),
+            family: ModelFamily::MptLike,
+            policy: PolicySpec::Full,
+            budget: None,
+            dtype: KvDtype::F32,
+        },
+        Config {
+            label: "GPT-J-like/Full/u8".into(),
+            family: ModelFamily::GptJLike,
+            policy: PolicySpec::Full,
+            budget: None,
+            dtype: KvDtype::U8,
+        },
+        Config {
+            label: format!("GPT-J-like/Keyformer@{pct}%/f32"),
+            family: ModelFamily::GptJLike,
+            policy: PolicySpec::keyformer_default(),
+            budget: Some(budget),
+            dtype: KvDtype::F32,
+        },
+        Config {
+            label: format!("MPT-like/H2O@{pct}%/u8"),
+            family: ModelFamily::MptLike,
+            policy: PolicySpec::h2o_default(),
+            budget: Some(budget),
+            dtype: KvDtype::U8,
+        },
+    ]
+}
+
+/// The deterministic prompt every run decodes from.
+fn prompt(prompt_len: usize, vocab: usize) -> Vec<u32> {
+    (0..prompt_len)
+        .map(|t| ((t * 17 + 3) % vocab) as u32)
+        .collect()
+}
+
+/// Runs one request on a fresh session along `path`, returning the output.
+fn run_once(
+    model: &TransformerModel,
+    cfg: &Config,
+    path: ForwardPath,
+    prompt: &[u32],
+    gen: &GenerationConfig,
+) -> GenerationOutput {
+    let policy = cfg.policy.build().expect("zoo specs build");
+    let mut session =
+        Session::with_dtype(model, policy, cfg.budget, cfg.dtype).with_forward_path(path);
+    session.generate(prompt, gen).expect("request completes")
+}
+
+/// Times `reps` repetitions of the request along `path` (after one untimed
+/// warm-up), returning the wall clock and the first repetition's output.
+fn timed_runs(
+    model: &TransformerModel,
+    cfg: &Config,
+    path: ForwardPath,
+    prompt: &[u32],
+    gen: &GenerationConfig,
+    reps: usize,
+) -> (f64, GenerationOutput) {
+    let reference = run_once(model, cfg, path, prompt, gen);
+    let start = Instant::now();
+    for _ in 0..reps {
+        let out = run_once(model, cfg, path, prompt, gen);
+        debug_assert_eq!(out, reference, "hot-path runs must be deterministic");
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    (wall_ms, reference)
+}
+
+/// Runs the full grid for one request shape.
+fn hotpath_grid(prompt_len: usize, gen_tokens: usize, reps: usize) -> (Table, Vec<HotpathSummary>) {
+    let mut table = Table::new(
+        format!(
+            "Forward hot path: legacy allocating path vs zero-allocation \
+             workspace path, same process (prompt {prompt_len}, {gen_tokens} \
+             generated tokens, {reps} timed repetitions; token streams \
+             verified identical between paths)"
+        ),
+        &[
+            "config",
+            "path",
+            "forwards",
+            "wall_ms",
+            "ns/token",
+            "tokens/s",
+            "speedup",
+            "identical",
+        ],
+    );
+    let gen = GenerationConfig::new(gen_tokens);
+    let mut summaries = Vec::new();
+    for cfg in hotpath_configs() {
+        let model = cfg.family.build(MODEL_SEED);
+        let prompt = prompt(prompt_len, model.config().vocab_size);
+        let forwards = reps * (prompt_len + gen_tokens);
+        let mut legacy_result: Option<(f64, GenerationOutput)> = None;
+        for path in [ForwardPath::Legacy, ForwardPath::Workspace] {
+            let (wall_ms, output) = timed_runs(&model, &cfg, path, &prompt, &gen, reps);
+            let (base_ms, token_identical) = match &legacy_result {
+                None => {
+                    legacy_result = Some((wall_ms, output));
+                    (wall_ms, true)
+                }
+                Some((base_ms, base_out)) => (*base_ms, output == *base_out),
+            };
+            let secs = (wall_ms / 1e3).max(f64::EPSILON);
+            let summary = HotpathSummary {
+                config: cfg.label.clone(),
+                path: match path {
+                    ForwardPath::Legacy => "legacy".into(),
+                    ForwardPath::Workspace => "workspace".into(),
+                },
+                prompt_len,
+                gen_tokens,
+                reps,
+                forwards,
+                wall_ms,
+                ns_per_token: wall_ms * 1e6 / forwards as f64,
+                tokens_per_sec: forwards as f64 / secs,
+                speedup: base_ms / wall_ms.max(f64::EPSILON),
+                token_identical,
+            };
+            table.push_row(vec![
+                summary.config.clone(),
+                summary.path.clone(),
+                summary.forwards.to_string(),
+                fmt(summary.wall_ms),
+                fmt(summary.ns_per_token),
+                fmt(summary.tokens_per_sec),
+                fmt(summary.speedup),
+                summary.token_identical.to_string(),
+            ]);
+            summaries.push(summary);
+        }
+    }
+    (table, summaries)
+}
+
+/// Runs the hot-path grid and returns both the rendered table and the
+/// per-(configuration, path) summaries.
+///
+/// `samples` scales the timed repetitions per configuration.
+pub fn hotpath_report(samples: usize) -> (Table, Vec<HotpathSummary>) {
+    hotpath_grid(PROMPT_LEN, GEN_TOKENS, samples.max(1))
+}
+
+/// Table-only entry point used by the experiment registry.
+pub fn hotpath(samples: usize) -> Table {
+    hotpath_report(samples).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_every_config_on_both_paths_and_stays_identical() {
+        // A short request shape keeps the full grid affordable in unoptimized
+        // test builds; the code path is exactly the experiment's.
+        let (table, summaries) = hotpath_grid(10, 4, 1);
+        assert_eq!(
+            summaries.len(),
+            hotpath_configs().len() * 2,
+            "every configuration runs on both paths"
+        );
+        for summary in &summaries {
+            assert!(
+                summary.token_identical,
+                "{} on the {} path diverged from legacy",
+                summary.config, summary.path
+            );
+            assert!(summary.wall_ms > 0.0 && summary.speedup > 0.0);
+            assert_eq!(summary.forwards, 14);
+        }
+        assert_eq!(table.rows.len(), summaries.len());
+    }
+
+    #[test]
+    fn summaries_serialize_round_trip() {
+        let summaries = vec![HotpathSummary {
+            config: "GPT-J-like/Full/f32".into(),
+            path: "workspace".into(),
+            prompt_len: 64,
+            gen_tokens: 192,
+            reps: 3,
+            forwards: 768,
+            wall_ms: 120.5,
+            ns_per_token: 156_901.0,
+            tokens_per_sec: 6373.4,
+            speedup: 2.7,
+            token_identical: true,
+        }];
+        let json = serde_json::to_string(&summaries).expect("serializes");
+        let back: Vec<HotpathSummary> = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, summaries);
+    }
+}

@@ -14,6 +14,7 @@
 
 pub mod accuracy;
 pub mod analysis;
+pub mod hotpath;
 pub mod paging;
 pub mod parallel;
 pub mod perf;

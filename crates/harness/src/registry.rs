@@ -2,7 +2,9 @@
 //! regenerate them.
 
 use crate::report::Table;
-use crate::{accuracy, analysis, paging, parallel, perf, prefix, quantization, serving, streaming};
+use crate::{
+    accuracy, analysis, hotpath, paging, parallel, perf, prefix, quantization, serving, streaming,
+};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of one paper table or figure.
@@ -68,6 +70,11 @@ pub enum ExperimentId {
     /// vs f32 across policies and budgets at a fixed byte pool — completed
     /// requests, utilization and ROUGE deltas (not a paper artefact).
     Quantization,
+    /// Forward hot path: legacy allocating forward pass vs the zero-allocation
+    /// workspace path (reusable scratch + cached RoPE key rotations + fused
+    /// block-row iteration), same process, token streams verified identical
+    /// (not a paper artefact).
+    Hotpath,
 }
 
 impl ExperimentId {
@@ -99,6 +106,7 @@ impl ExperimentId {
             StreamingLatency,
             ParallelScaling,
             Quantization,
+            Hotpath,
         ]
     }
 
@@ -130,6 +138,7 @@ impl ExperimentId {
             "streaming_latency" => StreamingLatency,
             "parallel_scaling" => ParallelScaling,
             "quantization" => Quantization,
+            "hotpath" => Hotpath,
             _ => return None,
         })
     }
@@ -162,6 +171,7 @@ impl ExperimentId {
             StreamingLatency => "streaming_latency",
             ParallelScaling => "parallel_scaling",
             Quantization => "quantization",
+            Hotpath => "hotpath",
         }
     }
 }
@@ -202,6 +212,7 @@ pub fn run_experiment(id: ExperimentId, samples: usize) -> Table {
         ExperimentId::StreamingLatency => streaming::streaming_latency(samples),
         ExperimentId::ParallelScaling => parallel::parallel_scaling(samples),
         ExperimentId::Quantization => quantization::quantization(samples),
+        ExperimentId::Hotpath => hotpath::hotpath(samples),
     }
 }
 
@@ -222,8 +233,9 @@ mod tests {
     #[test]
     fn all_lists_every_experiment() {
         // 18 paper artefacts + the serving-throughput, paging, prefix-sharing,
-        // streaming-latency, parallel-scaling and quantization experiments.
-        assert_eq!(ExperimentId::all().len(), 24);
+        // streaming-latency, parallel-scaling, quantization and hotpath
+        // experiments.
+        assert_eq!(ExperimentId::all().len(), 25);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod positional;
 pub mod session;
 pub mod stats;
 pub mod weights;
+pub mod workspace;
 
 pub use config::{ModelConfig, PositionMode};
 pub use engine::InferenceEngine;
@@ -58,3 +59,4 @@ pub use model::TransformerModel;
 pub use positional::PositionalEncoding;
 pub use session::{Session, SessionStep};
 pub use stats::AttentionStats;
+pub use workspace::{ForwardPath, ForwardWorkspace};

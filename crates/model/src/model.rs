@@ -123,6 +123,29 @@ impl TransformerModel {
         x
     }
 
+    /// [`TransformerModel::embed`] into a reused buffer — the same arithmetic
+    /// without the per-token allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is outside the vocabulary.
+    pub fn embed_into(&self, token: u32, position: usize, out: &mut Vec<f32>) {
+        let token = token as usize;
+        assert!(
+            token < self.config.vocab_size,
+            "token {token} outside vocabulary of {}",
+            self.config.vocab_size
+        );
+        out.clear();
+        out.extend_from_slice(self.weights.embedding.row(token));
+        if self.config.positional == PositionalEncoding::Learned {
+            let pos = position.min(self.weights.position_embedding.rows().saturating_sub(1));
+            for (xi, pi) in out.iter_mut().zip(self.weights.position_embedding.row(pos)) {
+                *xi += pi;
+            }
+        }
+    }
+
     /// Runs one token through the full decoder stack, appending its keys/values to
     /// the cache and returning next-token logits over the vocabulary.
     ///
@@ -289,6 +312,21 @@ mod tests {
         assert_eq!(rope.embed(3, 0), rope.embed(3, 10));
         // Learned-position models do not.
         assert_ne!(learned.embed(3, 0), learned.embed(3, 10));
+    }
+
+    #[test]
+    fn embed_into_matches_embed() {
+        for config in [
+            ModelConfig::tiny(),
+            ModelConfig::tiny().with_positional(PositionalEncoding::Learned),
+        ] {
+            let model = TransformerModel::new(config).unwrap();
+            let mut buf = Vec::new();
+            for (token, position) in [(3u32, 0usize), (17, 5), (90, 600)] {
+                model.embed_into(token, position, &mut buf);
+                assert_eq!(buf, model.embed(token, position));
+            }
+        }
     }
 
     #[test]

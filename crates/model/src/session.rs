@@ -44,6 +44,7 @@ use crate::config::ModelConfig;
 use crate::generation::{GenerationConfig, GenerationOutput, SamplingStrategy};
 use crate::model::{ForwardContext, TransformerModel};
 use crate::stats::AttentionStats;
+use crate::workspace::{forward_token_ws, ForwardPath, ForwardWorkspace};
 use keyformer_core::block::SharedBlockPool;
 use keyformer_core::budget::{CacheBudget, CacheBudgetSpec};
 use keyformer_core::cache::{KvCache, KvDtype};
@@ -145,6 +146,10 @@ pub struct Session<'m> {
     prefix_context: u64,
     /// Prompt tokens of the current request served from attached shared blocks.
     prefix_tokens_reused: usize,
+    /// Which forward implementation [`Session::step`] and friends run.
+    path: ForwardPath,
+    /// Reusable buffers and cached key rotations of the workspace path.
+    ws: ForwardWorkspace,
 }
 
 impl<'m> Session<'m> {
@@ -205,6 +210,7 @@ impl<'m> Session<'m> {
         policy: Box<dyn KvCachePolicy>,
         budget_spec: Option<CacheBudgetSpec>,
     ) -> Self {
+        let ws = ForwardWorkspace::new(model.config(), cache.block_size());
         Session {
             cache,
             model,
@@ -221,7 +227,28 @@ impl<'m> Session<'m> {
             prefix_registry: None,
             prefix_context: 0,
             prefix_tokens_reused: 0,
+            path: ForwardPath::default(),
+            ws,
         }
+    }
+
+    /// Selects which forward implementation this session runs. The default is
+    /// [`ForwardPath::Workspace`]; [`ForwardPath::Legacy`] keeps the original
+    /// allocating path callable for in-process baseline comparisons. The two
+    /// paths are byte-identical, so switching never changes tokens.
+    pub fn set_forward_path(&mut self, path: ForwardPath) {
+        self.path = path;
+    }
+
+    /// Builder form of [`Session::set_forward_path`].
+    pub fn with_forward_path(mut self, path: ForwardPath) -> Self {
+        self.set_forward_path(path);
+        self
+    }
+
+    /// The forward implementation this session runs.
+    pub fn forward_path(&self) -> ForwardPath {
+        self.path
     }
 
     /// Sets the chunked-prefill granularity: `Some(n)` makes [`Session::begin`]
@@ -353,9 +380,19 @@ impl<'m> Session<'m> {
         self.prefill = None;
         self.decode = None;
         self.prefix_tokens_reused = 0;
+        self.ws.clear();
         if let Some(stats) = &mut self.stats {
             stats.clear();
         }
+    }
+
+    /// Reserves every per-request buffer whose length tracks the sequence
+    /// (token history, per-slot attention scratch) up front, so the decode
+    /// loop's growth never reallocates mid-request.
+    fn reserve_for_request(&mut self, prompt_len: usize, max_new_tokens: usize) {
+        let slots = prompt_len.saturating_add(max_new_tokens);
+        self.sequence.reserve(slots);
+        self.ws.reserve_slots(slots);
     }
 
     /// Registers the prompt prefix ending at `processed` tokens into the
@@ -378,14 +415,18 @@ impl<'m> Session<'m> {
             .map(|_| ())
     }
 
-    fn forward(
+    /// Runs one forward pass along the configured [`ForwardPath`], writing the
+    /// next-token logits into `out` (reused across steps by the decode loop,
+    /// so the workspace path allocates nothing in steady state).
+    fn forward_into(
         &mut self,
         token: u32,
         position: usize,
         phase: Phase,
         step: usize,
         total_steps: usize,
-    ) -> Result<Vec<f32>, CoreError> {
+        out: &mut Vec<f32>,
+    ) -> Result<(), CoreError> {
         self.sequence.push(token);
         let mut ctx = ForwardContext {
             cache: &mut self.cache,
@@ -396,9 +437,16 @@ impl<'m> Session<'m> {
             step,
             total_steps,
         };
-        let logits = self.model.forward_token(token, position, &mut ctx)?;
+        match self.path {
+            ForwardPath::Legacy => {
+                *out = self.model.forward_token(token, position, &mut ctx)?;
+            }
+            ForwardPath::Workspace => {
+                forward_token_ws(self.model, token, position, &mut ctx, &mut self.ws, out)?;
+            }
+        }
         self.peak_cache_bytes = self.peak_cache_bytes.max(self.cache.byte_size());
-        Ok(logits)
+        Ok(())
     }
 
     fn evict_to_budget(&mut self) -> Result<(), CoreError> {
@@ -438,9 +486,17 @@ impl<'m> Session<'m> {
         self.budget = self
             .budget_spec
             .map(|spec| spec.for_prompt_len(prompt.len()));
+        self.reserve_for_request(prompt.len(), total_generation_steps);
         let mut logits = Vec::new();
         for (pos, &tok) in prompt.iter().enumerate() {
-            logits = self.forward(tok, pos, Phase::Prompt, pos, total_generation_steps)?;
+            self.forward_into(
+                tok,
+                pos,
+                Phase::Prompt,
+                pos,
+                total_generation_steps,
+                &mut logits,
+            )?;
             self.maybe_register_prefix(pos + 1)?;
         }
         // The paper reduces the cache once at the end of the prompt phase.
@@ -468,6 +524,7 @@ impl<'m> Session<'m> {
             self.budget = self
                 .budget_spec
                 .map(|spec| spec.for_prompt_len(prompt.len()));
+            self.reserve_for_request(prompt.len(), config.max_new_tokens);
             self.prefill = Some(PrefillState {
                 prompt: prompt.to_vec(),
                 config: *config,
@@ -524,6 +581,7 @@ impl<'m> Session<'m> {
         self.budget = self
             .budget_spec
             .map(|spec| spec.for_prompt_len(prompt.len()));
+        self.reserve_for_request(prompt.len(), config.max_new_tokens);
         let mut attached = 0;
         if let Some(registry) = self.prefix_registry.clone() {
             // At least the final prompt token must be forwarded (its logits
@@ -610,6 +668,10 @@ impl<'m> Session<'m> {
             prefix_registry: self.prefix_registry.clone(),
             prefix_context: self.prefix_context,
             prefix_tokens_reused: self.prefix_tokens_reused,
+            path: self.path,
+            // The fork shares every block (same ids, same generations), so the
+            // cloned rotated-key caches stay valid until either side writes.
+            ws: self.ws.clone(),
         })
     }
 
@@ -620,12 +682,17 @@ impl<'m> Session<'m> {
         config: &GenerationConfig,
         logits: Vec<f32>,
     ) {
+        // +1: the final prompt token joins the penalised set alongside up to
+        // `max_new_tokens` generated tokens. Reserving exactly keeps the
+        // decode loop's pushes allocation-free.
+        let mut penalised = Vec::with_capacity(config.max_new_tokens + 1);
+        penalised.extend(last_prompt_token);
         self.decode = Some(DecodeState {
             config: *config,
             rng: StdRng::seed_from_u64(config.seed),
             logits,
             generated: Vec::with_capacity(config.max_new_tokens),
-            penalised: last_prompt_token.into_iter().collect(),
+            penalised,
             prompt_len,
             step: 0,
             finished: config.max_new_tokens == 0,
@@ -677,12 +744,13 @@ impl<'m> Session<'m> {
                 break;
             }
             let pos = p.processed;
-            logits = self.forward(
+            self.forward_into(
                 p.prompt[pos],
                 pos,
                 Phase::Prompt,
                 pos,
                 p.config.max_new_tokens,
+                &mut logits,
             )?;
             p.processed += 1;
             processed_now += 1;
@@ -811,20 +879,17 @@ impl<'m> Session<'m> {
         }
         let position = d.prompt_len + step;
         let forwarded = self
-            .forward(
+            .forward_into(
                 next,
                 position,
                 Phase::Generation,
                 step,
                 d.config.max_new_tokens,
+                &mut d.logits,
             )
-            .and_then(|logits| {
-                self.evict_to_budget()?;
-                Ok(logits)
-            });
+            .and_then(|()| self.evict_to_budget());
         match forwarded {
-            Ok(logits) => {
-                d.logits = logits;
+            Ok(()) => {
                 self.decode = Some(d);
                 Ok(SessionStep {
                     token: next,
@@ -904,7 +969,14 @@ impl<'m> Session<'m> {
                 break;
             }
             let position = prompt.len() + step;
-            logits = self.forward(tok, position, Phase::Generation, step, continuation.len())?;
+            self.forward_into(
+                tok,
+                position,
+                Phase::Generation,
+                step,
+                continuation.len(),
+                &mut logits,
+            )?;
             self.evict_to_budget()?;
         }
         Ok(ContinuationScore {

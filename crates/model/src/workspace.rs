@@ -1,0 +1,640 @@
+//! Allocation-free forward path: a reusable per-session workspace.
+//!
+//! The legacy forward path ([`crate::model::TransformerModel::forward_token`])
+//! allocates on every token: a fresh hidden vector, per-head query/key copies,
+//! per-slot logit and probability vectors, a vocabulary-sized copy-vote table
+//! and the output logits themselves. None of those sizes change between steps,
+//! so a [`ForwardWorkspace`] owns them all and the `*_ws` functions in this
+//! module re-run the exact same arithmetic into the reused buffers. In steady
+//! state (decoding inside an already-allocated KV block) the workspace path
+//! performs **zero heap allocations per token** — see `tests/zero_alloc_decode.rs`.
+//!
+//! The workspace also caches work the legacy path recomputes every step:
+//!
+//! * a per-layer [`RotatedKeyCache`] memoizes the RoPE rotation of every cached
+//!   key, keyed on KV-block `(id, generation)` so appends top up incrementally
+//!   while compaction, CoW forks and quantize-on-seal rebuild exactly the
+//!   affected blocks;
+//! * per-head ALiBi slopes are precomputed once per model configuration.
+//!
+//! Every buffer reuse preserves the exact f32 operation order of the legacy
+//! path, so the two paths are *byte-identical*: the same token streams, the
+//! same logit bits (`tests/hotpath_identity.rs` proves this across the policy
+//! zoo, both KV dtypes and prefix sharing).
+
+use crate::attention::AttentionContext;
+use crate::config::{ModelConfig, PositionMode};
+use crate::model::{ForwardContext, TransformerModel};
+use crate::positional::{
+    alibi_bias, alibi_slope, apply_rope_scaled, PositionalEncoding, ROPE_BASE,
+};
+use crate::stats::AttentionRecord;
+use crate::weights::LayerWeights;
+use keyformer_core::cache::LayerKvCache;
+use keyformer_core::observation::AttentionObservation;
+use keyformer_core::{CoreError, RotatedKeyCache};
+use keyformer_tensor::ops::{gelu_in_place, layer_norm_into, softmax_into};
+use keyformer_tensor::vector::dot;
+
+const LN_EPS: f32 = 1e-5;
+
+/// Which forward implementation a [`crate::session::Session`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ForwardPath {
+    /// The original allocating path ([`TransformerModel::forward_token`]).
+    /// Kept callable so the `hotpath` experiment can measure both paths in
+    /// one process and identity tests can compare them bit-for-bit.
+    Legacy,
+    /// The workspace path: reused buffers, cached key rotations, fused
+    /// block-row iteration. Byte-identical output to `Legacy`.
+    #[default]
+    Workspace,
+}
+
+/// Scratch owned by one decoder-layer forward (all widths fixed by the model
+/// configuration).
+#[derive(Debug, Clone)]
+pub(crate) struct LayerScratch {
+    normed: Vec<f32>,
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    attn_out: Vec<f32>,
+    normed2: Vec<f32>,
+    inner: Vec<f32>,
+    ffn_out: Vec<f32>,
+}
+
+/// Scratch owned by one attention call. The per-slot buffers (`logits`,
+/// `probs`, `mean_probs`) grow with the live cache; their capacity is reserved
+/// up front per request so steady-state growth never reallocates.
+#[derive(Debug, Clone)]
+pub(crate) struct AttnScratch {
+    q_head: Vec<f32>,
+    /// Head-width scratch for dequantizing `u8` rows and for the fused
+    /// `vecmat_into` accumulator.
+    dequant: Vec<f32>,
+    context: Vec<f32>,
+    logits: Vec<f32>,
+    probs: Vec<f32>,
+    mean_probs: Vec<f32>,
+}
+
+/// All reusable state of the allocation-free forward path, owned by a
+/// [`crate::session::Session`].
+#[derive(Debug, Clone)]
+pub struct ForwardWorkspace {
+    hidden: Vec<f32>,
+    final_hidden: Vec<f32>,
+    copy_votes: Vec<f32>,
+    /// `alibi_slope(head, num_heads)` for every head, computed once.
+    alibi_slopes: Vec<f32>,
+    pub(crate) layer: LayerScratch,
+    pub(crate) attn: AttnScratch,
+    /// One rotated-key cache per decoder layer.
+    rot: Vec<RotatedKeyCache>,
+}
+
+impl ForwardWorkspace {
+    /// Builds a workspace for `config` over KV blocks of `block_size` slots.
+    pub fn new(config: &ModelConfig, block_size: usize) -> Self {
+        let d_model = config.d_model;
+        let head_dim = config.head_dim();
+        ForwardWorkspace {
+            hidden: Vec::with_capacity(d_model),
+            final_hidden: Vec::with_capacity(d_model),
+            copy_votes: vec![0.0; config.vocab_size],
+            alibi_slopes: (0..config.num_heads)
+                .map(|h| alibi_slope(h, config.num_heads))
+                .collect(),
+            layer: LayerScratch {
+                normed: Vec::with_capacity(d_model),
+                q: Vec::with_capacity(d_model),
+                k: Vec::with_capacity(d_model),
+                v: Vec::with_capacity(d_model),
+                attn_out: Vec::with_capacity(d_model),
+                normed2: Vec::with_capacity(d_model),
+                inner: Vec::with_capacity(config.d_ff),
+                ffn_out: Vec::with_capacity(d_model),
+            },
+            attn: AttnScratch {
+                q_head: vec![0.0; head_dim],
+                dequant: vec![0.0; head_dim],
+                context: vec![0.0; d_model],
+                logits: Vec::new(),
+                probs: Vec::new(),
+                mean_probs: Vec::new(),
+            },
+            rot: (0..config.num_layers)
+                .map(|_| RotatedKeyCache::new(config.num_heads, head_dim, block_size))
+                .collect(),
+        }
+    }
+
+    /// Reserves the per-slot attention buffers for a request of up to `slots`
+    /// live cache slots, so decode-time growth never reallocates.
+    pub fn reserve_slots(&mut self, slots: usize) {
+        self.attn.logits.reserve(slots);
+        self.attn.probs.reserve(slots);
+        self.attn.mean_probs.reserve(slots);
+    }
+
+    /// Drops every cached key rotation (the scratch buffers keep their
+    /// capacity). Call when the session rebinds to a new sequence.
+    pub fn clear(&mut self) {
+        for rot in &mut self.rot {
+            rot.clear();
+        }
+    }
+}
+
+/// Workspace twin of [`TransformerModel::forward_token`]: identical arithmetic
+/// into reused buffers, with next-token logits written into `out_logits`.
+pub(crate) fn forward_token_ws(
+    model: &TransformerModel,
+    token: u32,
+    position: usize,
+    ctx: &mut ForwardContext<'_>,
+    ws: &mut ForwardWorkspace,
+    out_logits: &mut Vec<f32>,
+) -> Result<(), CoreError> {
+    let config = model.config();
+    let weights = model.weights();
+    let ForwardWorkspace {
+        hidden,
+        final_hidden,
+        copy_votes,
+        alibi_slopes,
+        layer: layer_scratch,
+        attn,
+        rot,
+    } = ws;
+    model.embed_into(token, position, hidden);
+    copy_votes.fill(0.0);
+    let mut copy_total = 0.0f32;
+    for (layer, layer_rot) in rot.iter_mut().enumerate() {
+        let mut attn_ctx = AttentionContext {
+            policy: &mut *ctx.policy,
+            stats: ctx.stats.as_deref_mut(),
+            phase: ctx.phase,
+            step: ctx.step,
+            total_steps: ctx.total_steps,
+        };
+        decoder_layer_forward_ws(
+            config,
+            &weights.layers[layer],
+            layer,
+            position,
+            ctx.cache.layer_mut(layer),
+            &mut attn_ctx,
+            layer_rot,
+            layer_scratch,
+            attn,
+            hidden,
+            alibi_slopes,
+        )?;
+        if config.copy_strength > 0.0 {
+            let positions = ctx.cache.layer(layer).positions();
+            for (&slot_pos, &prob) in positions.iter().zip(&attn.mean_probs) {
+                if slot_pos == position {
+                    continue;
+                }
+                if let Some(&successor) = ctx.sequence.get(slot_pos + 1) {
+                    if successor < config.copy_ignore_below {
+                        continue;
+                    }
+                    let idx = successor as usize;
+                    if idx < copy_votes.len() {
+                        copy_votes[idx] += prob;
+                        copy_total += prob;
+                    }
+                }
+            }
+        }
+    }
+
+    layer_norm_into(
+        hidden,
+        &weights.final_ln_gain,
+        &weights.final_ln_bias,
+        LN_EPS,
+        final_hidden,
+    );
+    weights
+        .embedding
+        .matvec_into(final_hidden, out_logits)
+        .expect("embedding readout shape");
+
+    if config.copy_strength > 0.0 && copy_total > 1e-6 {
+        for (logit, vote) in out_logits.iter_mut().zip(copy_votes.iter()) {
+            if *vote > 0.0 {
+                *logit += config.copy_strength * vote / copy_total;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Workspace twin of [`crate::decoder::decoder_layer_forward`]: updates the
+/// residual stream in place (the legacy path's `hidden + attn_out` collect and
+/// `+=` loop produce the same bits) and leaves the head-averaged attention
+/// probabilities in `attn.mean_probs`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decoder_layer_forward_ws(
+    config: &ModelConfig,
+    weights: &LayerWeights,
+    layer: usize,
+    position: usize,
+    cache: &mut LayerKvCache,
+    ctx: &mut AttentionContext<'_>,
+    rot: &mut RotatedKeyCache,
+    scratch: &mut LayerScratch,
+    attn: &mut AttnScratch,
+    hidden: &mut [f32],
+    alibi_slopes: &[f32],
+) -> Result<(), CoreError> {
+    if hidden.len() != config.d_model {
+        return Err(CoreError::InvalidConfig(format!(
+            "hidden state width {} does not match d_model {}",
+            hidden.len(),
+            config.d_model
+        )));
+    }
+
+    // Pre-norm attention block.
+    layer_norm_into(
+        hidden,
+        &weights.ln1_gain,
+        &weights.ln1_bias,
+        LN_EPS,
+        &mut scratch.normed,
+    );
+    weights
+        .wq
+        .matvec_into(&scratch.normed, &mut scratch.q)
+        .expect("wq shape");
+    weights
+        .wk
+        .matvec_into(&scratch.normed, &mut scratch.k)
+        .expect("wk shape");
+    weights
+        .wv
+        .matvec_into(&scratch.normed, &mut scratch.v)
+        .expect("wv shape");
+
+    cache.append_from_slices(position, &scratch.k, &scratch.v)?;
+
+    attend_single_query_ws(
+        config,
+        layer,
+        &scratch.q,
+        position,
+        cache,
+        ctx,
+        rot,
+        attn,
+        alibi_slopes,
+    );
+    weights
+        .wo
+        .matvec_into(&attn.context, &mut scratch.attn_out)
+        .expect("wo shape");
+    for (h, a) in hidden.iter_mut().zip(&scratch.attn_out) {
+        *h += a;
+    }
+
+    // Pre-norm feed-forward block.
+    layer_norm_into(
+        hidden,
+        &weights.ln2_gain,
+        &weights.ln2_bias,
+        LN_EPS,
+        &mut scratch.normed2,
+    );
+    weights
+        .ffn_in
+        .matvec_into(&scratch.normed2, &mut scratch.inner)
+        .expect("ffn_in shape");
+    gelu_in_place(&mut scratch.inner);
+    weights
+        .ffn_out
+        .matvec_into(&scratch.inner, &mut scratch.ffn_out)
+        .expect("ffn_out shape");
+    for (h, f) in hidden.iter_mut().zip(&scratch.ffn_out) {
+        *h += f;
+    }
+    Ok(())
+}
+
+/// Workspace twin of [`crate::attention::attend_single_query`].
+///
+/// Differences from the legacy path — none of which change a single bit:
+///
+/// * RoPE key rotations come from the per-layer [`RotatedKeyCache`] instead of
+///   being recomputed per step (the cached rows were produced by the same
+///   copy-then-rotate arithmetic).
+/// * Non-RoPE models read key rows through the allocation-free
+///   [`keyformer_core::cache::KvSlice::for_each_row`] visitor instead of
+///   per-row `Cow::to_vec`.
+/// * Effective key positions are read straight off the cache's position table
+///   (or the slot index under [`PositionMode::Remapped`]) instead of being
+///   materialized into a per-step `Vec<usize>`.
+/// * The context lands in `attn.context` via the fused
+///   [`keyformer_core::cache::KvSlice::vecmat_into`], which dequantizes `u8`
+///   blocks with the same per-block factoring as `vecmat`.
+///
+/// # Panics
+///
+/// Panics if the cache is empty or its head shape disagrees with `config`,
+/// like the legacy path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn attend_single_query_ws(
+    config: &ModelConfig,
+    layer: usize,
+    query: &[f32],
+    query_position: usize,
+    cache: &LayerKvCache,
+    ctx: &mut AttentionContext<'_>,
+    rot: &mut RotatedKeyCache,
+    attn: &mut AttnScratch,
+    alibi_slopes: &[f32],
+) {
+    let num_heads = config.num_heads;
+    let head_dim = config.head_dim();
+    assert!(
+        !cache.is_empty(),
+        "attention requires at least one cached slot"
+    );
+    assert_eq!(cache.num_heads(), num_heads, "cache head count mismatch");
+    assert_eq!(cache.head_dim(), head_dim, "cache head dim mismatch");
+
+    let live = cache.len();
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let positions = cache.positions();
+    let effective_query_pos = match config.position_mode {
+        PositionMode::Original => query_position,
+        // Under remapping the query sits immediately after the compacted cache.
+        PositionMode::Remapped => live.saturating_sub(1),
+    };
+
+    // Keys are rotated once per (block, generation): appends top up, eviction
+    // and CoW rewrites rebuild exactly the affected blocks. The rotation only
+    // depends on the slot, which is what makes it cacheable across steps.
+    if config.positional == PositionalEncoding::Rope {
+        let rope_scale = config.rope_scale;
+        match config.position_mode {
+            PositionMode::Original => rot.sync(cache, |row, slot| {
+                apply_rope_scaled(row, positions[slot] as f32 * rope_scale, ROPE_BASE);
+            }),
+            PositionMode::Remapped => rot.sync(cache, |row, slot| {
+                apply_rope_scaled(row, slot as f32 * rope_scale, ROPE_BASE);
+            }),
+        }
+    }
+
+    let AttnScratch {
+        q_head,
+        dequant,
+        context,
+        logits,
+        probs,
+        mean_probs,
+    } = attn;
+    mean_probs.clear();
+    mean_probs.resize(live, 0.0);
+
+    for head in 0..num_heads {
+        q_head.copy_from_slice(&query[head * head_dim..(head + 1) * head_dim]);
+        if config.positional == PositionalEncoding::Rope {
+            apply_rope_scaled(
+                q_head,
+                effective_query_pos as f32 * config.rope_scale,
+                ROPE_BASE,
+            );
+        }
+        let slope = alibi_slopes[head];
+        logits.clear();
+        match config.positional {
+            PositionalEncoding::Rope => {
+                for slot in 0..live {
+                    logits.push(dot(q_head, rot.row(head, slot)) * scale);
+                }
+            }
+            PositionalEncoding::Alibi => {
+                let keys = cache.keys(head);
+                match config.position_mode {
+                    PositionMode::Original => keys.for_each_row(dequant, |slot, row| {
+                        logits.push(
+                            dot(q_head, row) * scale
+                                + alibi_bias(slope, effective_query_pos, positions[slot]),
+                        );
+                    }),
+                    PositionMode::Remapped => keys.for_each_row(dequant, |slot, row| {
+                        logits.push(
+                            dot(q_head, row) * scale + alibi_bias(slope, effective_query_pos, slot),
+                        );
+                    }),
+                }
+            }
+            PositionalEncoding::Learned => {
+                let keys = cache.keys(head);
+                keys.for_each_row(dequant, |_slot, row| {
+                    logits.push(dot(q_head, row) * scale);
+                });
+            }
+        }
+
+        ctx.policy.observe(&AttentionObservation {
+            layer,
+            head,
+            phase: ctx.phase,
+            step: ctx.step,
+            total_steps: ctx.total_steps,
+            logits,
+        });
+
+        softmax_into(logits, probs);
+        if let Some(stats) = ctx.stats.as_deref_mut() {
+            stats.record(AttentionRecord {
+                layer,
+                head,
+                step: ctx.step,
+                phase: ctx.phase,
+                probs: probs.clone(),
+                positions: cache.positions().to_vec(),
+            });
+        }
+
+        let values = cache.values(head);
+        values
+            .vecmat_into(
+                probs,
+                &mut context[head * head_dim..(head + 1) * head_dim],
+                dequant,
+            )
+            .expect("value matrix shape mismatch");
+        for (m, &p) in mean_probs.iter_mut().zip(probs.iter()) {
+            *m += p / num_heads as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::attend_single_query;
+    use crate::config::ModelConfig;
+    use keyformer_core::observation::Phase;
+    use keyformer_core::policies::full::FullAttention;
+
+    fn filled_cache(config: &ModelConfig, n: usize) -> LayerKvCache {
+        let head_dim = config.head_dim();
+        let mut cache = LayerKvCache::new(config.num_heads, head_dim);
+        for pos in 0..n {
+            let per_head: Vec<Vec<f32>> = (0..config.num_heads)
+                .map(|h| {
+                    (0..head_dim)
+                        .map(|d| ((pos * 7 + h * 3 + d) % 11) as f32 * 0.1 - 0.4)
+                        .collect()
+                })
+                .collect();
+            cache.append(pos, &per_head, &per_head).unwrap();
+        }
+        cache
+    }
+
+    fn query(config: &ModelConfig) -> Vec<f32> {
+        (0..config.d_model)
+            .map(|i| ((i * 5 + 1) % 13) as f32 * 0.05 - 0.2)
+            .collect()
+    }
+
+    /// The workspace attention must be bit-identical to the legacy attention
+    /// for every positional family and position mode.
+    #[test]
+    fn attend_ws_is_bit_identical_to_legacy() {
+        for positional in [
+            PositionalEncoding::Rope,
+            PositionalEncoding::Alibi,
+            PositionalEncoding::Learned,
+        ] {
+            for mode in [PositionMode::Original, PositionMode::Remapped] {
+                let config = ModelConfig {
+                    positional,
+                    position_mode: mode,
+                    ..ModelConfig::tiny()
+                };
+                let mut cache = filled_cache(&config, 9);
+                // Introduce holes so the two position modes actually differ.
+                cache.retain_slots(&[0, 2, 3, 5, 6, 7, 8]).unwrap();
+                let q = query(&config);
+
+                let mut legacy_policy = FullAttention::new();
+                let mut legacy_ctx = AttentionContext {
+                    policy: &mut legacy_policy,
+                    stats: None,
+                    phase: Phase::Generation,
+                    step: 2,
+                    total_steps: 4,
+                };
+                let legacy = attend_single_query(&config, 0, &q, 9, &cache, &mut legacy_ctx);
+
+                let mut ws = ForwardWorkspace::new(&config, cache.block_size());
+                let mut ws_policy = FullAttention::new();
+                let mut ws_ctx = AttentionContext {
+                    policy: &mut ws_policy,
+                    stats: None,
+                    phase: Phase::Generation,
+                    step: 2,
+                    total_steps: 4,
+                };
+                attend_single_query_ws(
+                    &config,
+                    0,
+                    &q,
+                    9,
+                    &cache,
+                    &mut ws_ctx,
+                    &mut ws.rot[0],
+                    &mut ws.attn,
+                    &ws.alibi_slopes,
+                );
+                assert_eq!(
+                    legacy
+                        .context
+                        .iter()
+                        .map(|x| x.to_bits())
+                        .collect::<Vec<_>>(),
+                    ws.attn
+                        .context
+                        .iter()
+                        .map(|x| x.to_bits())
+                        .collect::<Vec<_>>(),
+                    "{positional} / {mode} context diverged"
+                );
+                assert_eq!(
+                    legacy
+                        .mean_probs
+                        .iter()
+                        .map(|x| x.to_bits())
+                        .collect::<Vec<_>>(),
+                    ws.attn
+                        .mean_probs
+                        .iter()
+                        .map(|x| x.to_bits())
+                        .collect::<Vec<_>>(),
+                    "{positional} / {mode} mean_probs diverged"
+                );
+            }
+        }
+    }
+
+    /// Re-attending with the same workspace must give the same bits (the
+    /// rotated-key cache serves instead of recomputing).
+    #[test]
+    fn cached_rotations_serve_repeat_queries() {
+        let config = ModelConfig::tiny();
+        let cache = filled_cache(&config, 7);
+        let q = query(&config);
+        let mut ws = ForwardWorkspace::new(&config, cache.block_size());
+        let run = |ws: &mut ForwardWorkspace| {
+            let mut policy = FullAttention::new();
+            let mut ctx = AttentionContext {
+                policy: &mut policy,
+                stats: None,
+                phase: Phase::Generation,
+                step: 0,
+                total_steps: 1,
+            };
+            attend_single_query_ws(
+                &config,
+                0,
+                &q,
+                7,
+                &cache,
+                &mut ctx,
+                &mut ws.rot[0],
+                &mut ws.attn,
+                &ws.alibi_slopes,
+            );
+            ws.attn.context.clone()
+        };
+        let first = run(&mut ws);
+        let covered = ws.rot[0].covered_slots();
+        assert_eq!(covered, 7);
+        let second = run(&mut ws);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn workspace_precomputes_alibi_slopes() {
+        let config = ModelConfig {
+            num_heads: 4,
+            ..ModelConfig::tiny()
+        };
+        let ws = ForwardWorkspace::new(&config, 16);
+        for h in 0..4 {
+            assert_eq!(ws.alibi_slopes[h].to_bits(), alibi_slope(h, 4).to_bits());
+        }
+    }
+}

@@ -318,6 +318,41 @@ impl Matrix {
             .collect())
     }
 
+    /// Matrix-vector product `self * v` written into a caller-owned buffer.
+    ///
+    /// Bit-identical to [`Matrix::matvec`] (same per-row `zip`/`sum` reduction
+    /// order); performs no heap allocation when `out` already has capacity for
+    /// `rows` elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `v.len() != cols`.
+    pub fn matvec_into(&self, v: &[f32], out: &mut Vec<f32>) -> Result<(), TensorError> {
+        if v.len() != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        out.clear();
+        out.extend(
+            self.iter_rows()
+                .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum::<f32>()),
+        );
+        Ok(())
+    }
+
+    /// Reserves capacity for at least `additional` more rows without changing
+    /// the matrix contents.
+    ///
+    /// The paged KV cache calls this when a fresh block is allocated so the
+    /// per-token [`Matrix::push_row`] appends that fill the block never touch
+    /// the allocator.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve(additional * self.cols.max(1));
+    }
+
     /// Vector-matrix product `v * self` (treats `v` as a row vector).
     ///
     /// # Errors
@@ -448,6 +483,28 @@ mod tests {
         assert_eq!(a.vecmat(&[1.0, 1.0]).unwrap(), vec![4.0, 6.0]);
         assert!(a.matvec(&[1.0]).is_err());
         assert!(a.vecmat(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.5, -3.0], vec![0.125, 4.0, 6.0]]);
+        let v = [1.5f32, -2.0, 0.25];
+        let mut out = vec![7.0; 5];
+        a.matvec_into(&v, &mut out).unwrap();
+        assert_eq!(out, a.matvec(&v).unwrap());
+        assert!(a.matvec_into(&[1.0], &mut out).is_err());
+    }
+
+    #[test]
+    fn reserve_rows_preallocates_for_push_row() {
+        let mut m = Matrix::zeros(0, 3);
+        m.reserve_rows(4);
+        let cap = m.data.capacity();
+        for _ in 0..4 {
+            m.push_row(&[1.0, 2.0, 3.0]);
+        }
+        assert_eq!(m.data.capacity(), cap, "push_row must not reallocate");
+        assert_eq!(m.shape(), (4, 3));
     }
 
     #[test]

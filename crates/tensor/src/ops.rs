@@ -26,6 +26,32 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
     exps.iter().map(|&e| e / sum).collect()
 }
 
+/// [`softmax`] writing into a caller-provided buffer, so a hot loop can reuse
+/// one allocation across calls.
+///
+/// `out` is cleared and refilled; with sufficient capacity the call performs no
+/// heap allocation. The arithmetic (max-subtraction, exponentiation order,
+/// single sum, per-element divide, uniform fallback) is exactly [`softmax`]'s,
+/// so the two produce bit-identical results.
+pub fn softmax_into(logits: &[f32], out: &mut Vec<f32>) {
+    out.clear();
+    if logits.is_empty() {
+        return;
+    }
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    out.extend(logits.iter().map(|&x| (x - max).exp()));
+    let sum: f32 = out.iter().sum();
+    if sum == 0.0 || !sum.is_finite() {
+        // All logits were -inf (fully masked) or overflowed: fall back to uniform.
+        let uniform = 1.0 / logits.len() as f32;
+        out.fill(uniform);
+        return;
+    }
+    for e in out.iter_mut() {
+        *e /= sum;
+    }
+}
+
 /// Softmax with a temperature parameter `tau`.
 ///
 /// `tau -> 0` sharpens the distribution towards an argmax, `tau -> inf` flattens it
@@ -96,6 +122,34 @@ pub fn layer_norm(x: &[f32], gain: &[f32], bias: &[f32], eps: f32) -> Vec<f32> {
         .zip(gain.iter().zip(bias.iter()))
         .map(|(&v, (&g, &b))| g * (v - mean) / denom + b)
         .collect()
+}
+
+/// [`layer_norm`] writing into a caller-provided buffer.
+///
+/// `out` is cleared and refilled; with sufficient capacity the call performs no
+/// heap allocation. The arithmetic (mean, biased variance, shared denominator,
+/// per-element affine) is exactly [`layer_norm`]'s, so the two produce
+/// bit-identical results.
+///
+/// # Panics
+///
+/// Panics if `gain` or `bias` length differs from `x`.
+pub fn layer_norm_into(x: &[f32], gain: &[f32], bias: &[f32], eps: f32, out: &mut Vec<f32>) {
+    assert_eq!(x.len(), gain.len(), "gain length must match input");
+    assert_eq!(x.len(), bias.len(), "bias length must match input");
+    out.clear();
+    if x.is_empty() {
+        return;
+    }
+    let n = x.len() as f32;
+    let mean = x.iter().sum::<f32>() / n;
+    let var = x.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let denom = (var + eps).sqrt();
+    out.extend(
+        x.iter()
+            .zip(gain.iter().zip(bias.iter()))
+            .map(|(&v, (&g, &b))| g * (v - mean) / denom + b),
+    );
 }
 
 /// Row-wise softmax over a matrix of logits.
@@ -218,6 +272,34 @@ mod tests {
         let x = [1.0, 2.0];
         let y = layer_norm(&x, &[2.0, 2.0], &[1.0, 1.0], 1e-5);
         assert_close(y[0] + y[1], 2.0, 1e-4);
+    }
+
+    #[test]
+    fn softmax_into_is_bit_identical_to_softmax() {
+        let cases: &[&[f32]] = &[
+            &[1.0, 2.0, 3.0],
+            &[-1.0e30, 0.0],
+            &[f32::NEG_INFINITY, f32::NEG_INFINITY],
+            &[],
+            &[0.25, -7.5, 3.125, 3.125, 0.0],
+        ];
+        let mut out = Vec::new();
+        for logits in cases {
+            softmax_into(logits, &mut out);
+            assert_eq!(out, softmax(logits), "diverged on {logits:?}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_into_is_bit_identical_to_layer_norm() {
+        let x = [1.0f32, -2.0, 3.5, 0.125];
+        let gain = [2.0f32, 1.0, 0.5, -1.0];
+        let bias = [0.1f32, 0.0, -0.5, 1.0];
+        let mut out = vec![99.0; 7];
+        layer_norm_into(&x, &gain, &bias, 1e-5, &mut out);
+        assert_eq!(out, layer_norm(&x, &gain, &bias, 1e-5));
+        layer_norm_into(&[], &[], &[], 1e-5, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

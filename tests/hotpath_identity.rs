@@ -1,0 +1,182 @@
+//! Workspace-path ≡ legacy-path byte-identity across the whole configuration
+//! space the serving stack exercises.
+//!
+//! PR 8 rewrote the per-token forward pass around a reusable
+//! [`keyformer::model::workspace::ForwardWorkspace`] (scratch buffers, cached
+//! RoPE key rotations, fused block-row iteration) and made it the session
+//! default; the original allocating path stays callable as
+//! [`ForwardPath::Legacy`]. The optimization's contract is that the two paths
+//! are *byte-identical* — same tokens, same logits, same cache trajectory —
+//! for every policy in the zoo, both KV storage dtypes, top-k sampling, and
+//! with copy-on-write prefix sharing in the mix (where compaction inside
+//! shared blocks must invalidate the rotated-key cache via block
+//! generations). These tests pin that contract.
+
+use keyformer::core::block::SharedBlockPool;
+use keyformer::core::budget::CacheBudgetSpec;
+use keyformer::core::cache::KvDtype;
+use keyformer::core::prefix::{policy_context, SharedPrefixRegistry};
+use keyformer::core::spec::PolicySpec;
+use keyformer::model::families::ModelFamily;
+use keyformer::model::generation::GenerationConfig;
+use keyformer::model::session::Session;
+use keyformer::model::workspace::ForwardPath;
+use proptest::prelude::*;
+
+/// The whole policy zoo, each with the budget the experiments run it under
+/// (`None` only for the full-attention baseline).
+fn policy_zoo() -> Vec<(PolicySpec, Option<CacheBudgetSpec>)> {
+    let budget = Some(CacheBudgetSpec::new(0.5, 0.3).unwrap());
+    vec![
+        (PolicySpec::Full, None),
+        (PolicySpec::Window, budget),
+        (PolicySpec::DilatedWindow { dilation: 1 }, budget),
+        (PolicySpec::KeyOnly, budget),
+        (PolicySpec::h2o_default(), budget),
+        (PolicySpec::Damped { alpha: 0.9 }, budget),
+        (PolicySpec::streaming_default(), budget),
+        (PolicySpec::keyformer_default(), budget),
+    ]
+}
+
+fn synthetic_prompt(len: usize, salt: u32) -> Vec<u32> {
+    (0..len)
+        .map(|i| (i as u32 * 13 + 5 + salt * 37) % 120)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Zoo × dtype: a workspace-path generation is byte-identical to the
+    /// legacy path's — the full [`GenerationOutput`] (tokens, per-step cache
+    /// sizes, peak bytes), not just the token stream. Top-k sampling makes the
+    /// comparison sensitive to the exact logit bits: one ULP of divergence
+    /// reorders candidates and the streams split.
+    #[test]
+    fn workspace_path_is_byte_identical_across_zoo_and_dtypes(
+        prompt_len in 18usize..40,
+        gen_tokens in 4usize..10,
+        seed in 0u64..1_000,
+        salt in 0u32..8,
+    ) {
+        let model = ModelFamily::Tiny.build(37);
+        let prompt = synthetic_prompt(prompt_len, salt);
+        let config = GenerationConfig::new(gen_tokens).with_top_k(16, 2.0, seed);
+        for (policy, budget) in policy_zoo() {
+            for dtype in [KvDtype::F32, KvDtype::U8] {
+                let legacy = Session::with_dtype(
+                    &model, policy.build().unwrap(), budget, dtype,
+                ).with_forward_path(ForwardPath::Legacy)
+                    .generate(&prompt, &config).unwrap();
+                let workspace = Session::with_dtype(
+                    &model, policy.build().unwrap(), budget, dtype,
+                ).with_forward_path(ForwardPath::Workspace)
+                    .generate(&prompt, &config).unwrap();
+                prop_assert!(
+                    legacy == workspace,
+                    "{} @ {dtype:?}: workspace path diverged from legacy",
+                    policy.label()
+                );
+            }
+        }
+    }
+
+    /// Prefix sharing on: a workspace-path session that attaches to blocks a
+    /// legacy-path donor registered generates exactly what a legacy cold start
+    /// does — and vice versa. Attached blocks arrive with foreign generations,
+    /// and budgeted policies compact *inside* them mid-decode, so this is the
+    /// rotated-key cache's invalidation logic under fire.
+    #[test]
+    fn workspace_path_is_byte_identical_under_prefix_sharing(
+        shared_len in 12usize..24,
+        gen_tokens in 3usize..7,
+        seed in 0u64..1_000,
+    ) {
+        let model = ModelFamily::Tiny.build(37);
+        let config = GenerationConfig::new(gen_tokens).with_top_k(16, 2.0, seed);
+        let shared = synthetic_prompt(shared_len, 1);
+        for (policy, budget) in policy_zoo() {
+            for (donor_path, attach_path) in [
+                (ForwardPath::Legacy, ForwardPath::Workspace),
+                (ForwardPath::Workspace, ForwardPath::Legacy),
+            ] {
+                let pool = SharedBlockPool::unbounded(4);
+                let registry = SharedPrefixRegistry::new(&pool);
+                let context = policy_context(&policy);
+
+                let mut donor_prompt = shared.clone();
+                donor_prompt.extend(synthetic_prompt(8, 2).iter().map(|t| t + 1));
+                let mut attach_prompt = shared.clone();
+                attach_prompt.extend(synthetic_prompt(8, 3).iter().map(|t| t + 2));
+
+                let mut donor = Session::with_pool(
+                    &model, policy.build().unwrap(), budget, pool.clone(),
+                ).with_prefix_registry(registry.clone(), context)
+                    .with_forward_path(donor_path);
+                donor.generate(&donor_prompt, &config).unwrap();
+
+                let mut attacher = Session::with_pool(
+                    &model, policy.build().unwrap(), budget, pool.clone(),
+                ).with_prefix_registry(registry.clone(), context)
+                    .with_forward_path(attach_path);
+                attacher.begin_with_prefix(&attach_prompt, &config).unwrap();
+                while attacher.is_decoding() {
+                    attacher.step().unwrap();
+                }
+                let attached = attacher.take_output().unwrap();
+
+                let cold = Session::with_pool(
+                    &model, policy.build().unwrap(), budget, pool.clone(),
+                ).with_forward_path(ForwardPath::Legacy)
+                    .generate(&attach_prompt, &config).unwrap();
+                prop_assert!(
+                    attached == cold,
+                    "{}: {attach_path:?} attacher onto a {donor_path:?} donor diverged from a legacy cold start",
+                    policy.label()
+                );
+            }
+        }
+    }
+
+    /// A forked workspace session (cloned rotated-key caches over shared
+    /// blocks) continues exactly like its donor would have, and the donor is
+    /// undisturbed — on both paths.
+    #[test]
+    fn forked_workspace_sessions_decode_identically(
+        prompt_len in 18usize..30,
+        gen_tokens in 4usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let model = ModelFamily::Tiny.build(37);
+        let prompt = synthetic_prompt(prompt_len, 5);
+        let config = GenerationConfig::new(gen_tokens).with_top_k(16, 2.0, seed);
+        for (policy, budget) in policy_zoo() {
+            for path in [ForwardPath::Legacy, ForwardPath::Workspace] {
+                let pool = SharedBlockPool::unbounded(4);
+                let mut donor = Session::with_pool(
+                    &model, policy.build().unwrap(), budget, pool.clone(),
+                ).with_forward_path(path);
+                donor.begin(&prompt, &config).unwrap();
+                while donor.is_prefilling() {
+                    donor.advance_prefill().unwrap();
+                }
+                donor.step().unwrap();
+                let mut fork = donor.fork().unwrap();
+                while donor.is_decoding() {
+                    donor.step().unwrap();
+                }
+                while fork.is_decoding() {
+                    fork.step().unwrap();
+                }
+                let donor_out = donor.take_output().unwrap();
+                let fork_out = fork.take_output().unwrap();
+                prop_assert!(
+                    donor_out == fork_out,
+                    "{} @ {path:?}: fork diverged from its donor",
+                    policy.label()
+                );
+            }
+        }
+    }
+}
