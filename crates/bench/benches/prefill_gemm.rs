@@ -1,0 +1,145 @@
+//! Prefill GEMM microbenchmarks: the tiled batched matrix kernels underneath
+//! chunk-batched prefill, and the chunked prompt pass end to end.
+//!
+//! Two granularities. `prefill_gemm` times one projection's worth of work at
+//! real transformer shapes — `n` per-token `matvec_into` calls (what the
+//! sequential prompt pass does) against one `matvec_batch_into` GEMM (what
+//! the batched pass does), plus the square `matmul_into` kernel the GEMM is
+//! built on. `chunked_prefill` times the full prompt pass through a session
+//! at each chunk size, which is where the per-chunk weight-streaming savings
+//! show up end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use keyformer_core::spec::PolicySpec;
+use keyformer_model::families::ModelFamily;
+use keyformer_model::generation::GenerationConfig;
+use keyformer_model::session::Session;
+use keyformer_model::workspace::ForwardPath;
+use keyformer_tensor::Matrix;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Chunk sizes swept by both benchmark groups.
+const CHUNKS: [usize; 4] = [1, 8, 32, 128];
+/// Prompt length of the end-to-end chunked prefill bench.
+const PROMPT_LEN: usize = 128;
+
+/// Deterministic pseudo-random matrix (xorshift; weights don't need to be
+/// realistic, just non-degenerate).
+fn random_matrix(rows: usize, cols: usize, mut seed: u64) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data).expect("shape matches data")
+}
+
+/// One projection at transformer shapes: `n` sequential GEMVs vs one batched
+/// GEMM over the same inputs. Shapes are the headline GPT-J-like family's
+/// QKV (128×128) and FFN (256×128) projections.
+fn bench_prefill_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefill_gemm");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for (label, rows, cols) in [
+        ("qkv_128x128", 128usize, 128usize),
+        ("ffn_256x128", 256, 128),
+    ] {
+        let weights = random_matrix(rows, cols, 7);
+        for &n in &CHUNKS {
+            let xs: Vec<f32> = random_matrix(n, cols, 11).into_vec();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}/sequential_gemv"), n),
+                &n,
+                |b, &n| {
+                    let mut out = vec![0.0f32; rows];
+                    b.iter(|| {
+                        for x in xs.chunks_exact(cols).take(n) {
+                            let mut row_out = std::mem::take(&mut out);
+                            weights
+                                .matvec_into(black_box(x), &mut row_out)
+                                .expect("shape agrees");
+                            out = row_out;
+                            black_box(&out);
+                        }
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}/batched_gemm"), n),
+                &n,
+                |b, &n| {
+                    let mut out = Vec::with_capacity(n * rows);
+                    let mut pack = Vec::new();
+                    b.iter(|| {
+                        weights
+                            .matvec_batch_into(black_box(&xs), n, &mut out, &mut pack)
+                            .expect("shape agrees");
+                        black_box(&out);
+                    });
+                },
+            );
+        }
+    }
+    // The square kernel the batched projections are built on.
+    for n in [64usize, 128, 256] {
+        let a = random_matrix(n, n, 3);
+        let b_m = random_matrix(n, n, 5);
+        group.bench_with_input(BenchmarkId::new("matmul_into", n), &n, |b, _| {
+            let mut out = Vec::with_capacity(n * n);
+            b.iter(|| {
+                a.matmul_into(black_box(&b_m), &mut out);
+                black_box(&out);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The chunked prompt pass end to end: arm a prompt and drive
+/// `advance_prefill` to completion on the batched path at each chunk size,
+/// with the sequential path as the baseline.
+fn bench_chunked_prefill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunked_prefill");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let model = ModelFamily::GptJLike.build(41);
+    let vocab = model.config().vocab_size;
+    let prompt: Vec<u32> = (0..PROMPT_LEN)
+        .map(|t| ((t * 13 + 5) % vocab) as u32)
+        .collect();
+    let gen = GenerationConfig::new(1);
+    let run = |path: ForwardPath, chunk: usize| {
+        let mut session =
+            Session::new(&model, PolicySpec::Full.build().expect("full builds"), None)
+                .with_forward_path(path)
+                .with_prefill_chunk(chunk);
+        session
+            .begin(black_box(&prompt), &gen)
+            .expect("prompt arms");
+        while session.is_prefilling() {
+            session.advance_prefill().expect("unbounded pool");
+        }
+        black_box(session);
+    };
+    group.bench_function(BenchmarkId::new("sequential", PROMPT_LEN), |b| {
+        b.iter(|| run(ForwardPath::Legacy, PROMPT_LEN));
+    });
+    for &chunk in &CHUNKS {
+        group.bench_with_input(BenchmarkId::new("batched", chunk), &chunk, |b, &chunk| {
+            b.iter(|| run(ForwardPath::Workspace, chunk));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(prefill_gemm, bench_prefill_gemm, bench_chunked_prefill);
+criterion_main!(prefill_gemm);

@@ -270,6 +270,30 @@ impl BlockPool {
         }
     }
 
+    /// The largest `needed` for which [`BlockPool::can_allocate_transient`]
+    /// would return `true` right now (`usize::MAX` for unbounded or
+    /// `AllowTransient` pools).
+    ///
+    /// Chunk-batched prefill reads this once per chunk — a single lock
+    /// round-trip — and sizes the chunk prefix it forwards to the headroom,
+    /// instead of asking `can_allocate_transient` once per token.
+    pub fn max_transient_blocks(&self, own_in_use: usize, own_reserved: usize) -> usize {
+        match self.overcommit {
+            OvercommitPolicy::AllowTransient => usize::MAX,
+            OvercommitPolicy::Strict => {
+                if self.capacity_blocks == usize::MAX {
+                    return usize::MAX;
+                }
+                let others_reserved = self.reserved.saturating_sub(own_reserved);
+                let others_in_use = self.in_use.saturating_sub(own_in_use);
+                let owed_to_others = others_reserved.saturating_sub(others_in_use);
+                self.capacity_blocks
+                    .saturating_sub(self.in_use)
+                    .saturating_sub(owed_to_others)
+            }
+        }
+    }
+
     /// Allocates one block with refcount 1.
     ///
     /// # Errors
@@ -520,6 +544,11 @@ impl SharedBlockPool {
     ) -> bool {
         self.lock()
             .can_allocate_transient(needed, own_in_use, own_reserved)
+    }
+
+    /// See [`BlockPool::max_transient_blocks`].
+    pub fn max_transient_blocks(&self, own_in_use: usize, own_reserved: usize) -> usize {
+        self.lock().max_transient_blocks(own_in_use, own_reserved)
     }
 
     /// See [`BlockPool::alloc`].
@@ -775,6 +804,13 @@ mod tests {
         // AllowTransient and unbounded pools never gate.
         let open = BlockPool::unbounded(4);
         assert!(open.can_allocate_transient(usize::MAX / 2, 0, 0));
+        // The batched headroom query agrees exactly with the per-need check:
+        // it reports the largest `needed` the check would still admit.
+        let headroom = pool.max_transient_blocks(3, 3);
+        assert_eq!(headroom, 3);
+        assert!(pool.can_allocate_transient(headroom, 3, 3));
+        assert!(!pool.can_allocate_transient(headroom + 1, 3, 3));
+        assert_eq!(open.max_transient_blocks(0, 0), usize::MAX);
         for id in decoder.into_iter().chain(prefiller) {
             pool.release(id).unwrap();
         }

@@ -440,6 +440,27 @@ impl<'a> KvSlice<'a> {
         (self.len, self.head_dim)
     }
 
+    /// A copy of this view restricted to its first `len` slots.
+    ///
+    /// Chunk-batched prefill uses this to give query `i` of a chunk a causal
+    /// view over exactly the slots the sequential path would have seen —
+    /// `prior + i + 1` of them — even though the whole chunk's rows are
+    /// already appended. Every read primitive ([`KvSlice::row`],
+    /// [`KvSlice::vecmat_into`], [`KvSlice::for_each_row`]) is bounded by
+    /// `len`, so the later rows are invisible through the truncated view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > self.len()`.
+    pub fn truncated(self, len: usize) -> Self {
+        assert!(
+            len <= self.len,
+            "cannot extend a {}-slot view to {len} slots",
+            self.len
+        );
+        KvSlice { len, ..self }
+    }
+
     /// Row of logical slot `slot`: a borrow for `f32` blocks, a dequantized
     /// copy of the single row for sealed `u8` blocks (never a whole block).
     ///
@@ -1125,6 +1146,56 @@ impl LayerKvCache {
         })
     }
 
+    /// Appends `rows` consecutive tokens' keys and values in one call, from
+    /// flat slices laid out `[token 0: head 0 | head 1 | ... | token 1: ...]`
+    /// (each token contributing `num_heads * head_dim` values), with the first
+    /// row taking `start_position` and subsequent rows consecutive positions.
+    ///
+    /// Bit-identical to calling [`LayerKvCache::append_from_slices`] once per
+    /// row: the same rows land in the same slots of the same blocks, blocks
+    /// seal (quantize) at exactly the same fills, and copy-on-write forks
+    /// trigger at the same appends. The batch form validates once and lets
+    /// chunk-batched prefill push a whole chunk's KV per layer pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if either slice length differs
+    /// from `rows * num_heads * head_dim`, and [`CoreError::PoolExhausted`]
+    /// if a strict pool runs out of blocks part-way (rows appended before the
+    /// failure remain appended, exactly as a per-row loop would leave them).
+    pub fn append_batch_from_slices(
+        &mut self,
+        start_position: usize,
+        rows: usize,
+        keys: &[f32],
+        values: &[f32],
+    ) -> Result<(), CoreError> {
+        let stride = self.num_heads * self.head_dim;
+        let want = rows * stride;
+        if keys.len() != want || values.len() != want {
+            return Err(CoreError::InvalidConfig(format!(
+                "expected {rows} rows x {} heads x head_dim {} = {want} values, \
+                 got {} keys / {} values",
+                self.num_heads,
+                self.head_dim,
+                keys.len(),
+                values.len()
+            )));
+        }
+        let head_dim = self.head_dim;
+        for r in 0..rows {
+            let krow = &keys[r * stride..(r + 1) * stride];
+            let vrow = &values[r * stride..(r + 1) * stride];
+            self.append_with(start_position + r, |bk, bv| {
+                for h in 0..bk.len() {
+                    bk[h].push_row(&krow[h * head_dim..(h + 1) * head_dim]);
+                    bv[h].push_row(&vrow[h * head_dim..(h + 1) * head_dim]);
+                }
+            })?;
+        }
+        Ok(())
+    }
+
     /// Shared tail of the append paths: allocates a tail block when needed,
     /// forks it private, lets `push` add one row per head, then seals on fill.
     fn append_with(
@@ -1454,6 +1525,24 @@ impl KvCache {
             .count()
     }
 
+    /// Blocks appending the next `n` tokens would need in the worst case,
+    /// summed over layers: per layer, the slots the appends overflow past the
+    /// already-allocated tail, rounded up to whole blocks. `n = 1` agrees with
+    /// [`KvCache::blocks_needed_for_next_token`]. Chunk-batched prefill
+    /// pre-flights a whole chunk against the pool with one call instead of a
+    /// per-token lock round-trip.
+    pub fn blocks_needed_for_next_n_tokens(&self, n: usize) -> usize {
+        let bs = self.block_size().max(1);
+        self.layers
+            .iter()
+            .map(|l| {
+                (l.len() + n)
+                    .saturating_sub(l.allocated_slots())
+                    .div_ceil(bs)
+            })
+            .sum()
+    }
+
     /// Copy-on-write forks performed across all layers.
     pub fn total_cow_forks(&self) -> usize {
         self.layers.iter().map(LayerKvCache::cow_forks).sum()
@@ -1597,6 +1686,106 @@ mod tests {
             assert_eq!(&*layer.values(1).row(slot), &[20.0 + slot as f32; 3]);
         }
         assert_eq!(layer.keys(0).to_matrix().shape(), (8, 3));
+    }
+
+    #[test]
+    fn append_batch_is_bit_identical_to_per_row_appends() {
+        for dtype in [KvDtype::F32, KvDtype::U8] {
+            // Block size 3, 8 rows: the batch spans block boundaries and (for
+            // u8) triggers two quantize-on-seal events mid-batch.
+            let mk = || LayerKvCache::with_pool_dtype(2, 3, SharedBlockPool::unbounded(3), dtype);
+            let row = |r: usize, salt: f32| -> Vec<f32> {
+                (0..6).map(|c| salt + r as f32 + 0.125 * c as f32).collect()
+            };
+            let mut looped = mk();
+            let mut batched = mk();
+            let mut flat_k = Vec::new();
+            let mut flat_v = Vec::new();
+            for r in 0..8 {
+                let (k, v) = (row(r, 1.0), row(r, 50.0));
+                looped.append_from_slices(10 + r, &k, &v).unwrap();
+                flat_k.extend_from_slice(&k);
+                flat_v.extend_from_slice(&v);
+            }
+            batched
+                .append_batch_from_slices(10, 8, &flat_k, &flat_v)
+                .unwrap();
+            assert_eq!(batched.len(), looped.len());
+            assert_eq!(batched.positions(), looped.positions());
+            for head in 0..2 {
+                for slot in 0..8 {
+                    assert_eq!(
+                        &*batched.keys(head).row(slot),
+                        &*looped.keys(head).row(slot),
+                        "{dtype:?} key diverged at head {head}, slot {slot}"
+                    );
+                    assert_eq!(
+                        &*batched.values(head).row(slot),
+                        &*looped.values(head).row(slot),
+                        "{dtype:?} value diverged at head {head}, slot {slot}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn append_batch_validates_slice_lengths() {
+        let mut layer = LayerKvCache::new(2, 3);
+        assert!(layer
+            .append_batch_from_slices(0, 2, &[0.0; 11], &[0.0; 12])
+            .is_err());
+        assert!(layer
+            .append_batch_from_slices(0, 2, &[0.0; 12], &[0.0; 12])
+            .is_ok());
+        assert_eq!(layer.len(), 2);
+    }
+
+    #[test]
+    fn truncated_slice_hides_later_slots() {
+        let pool = SharedBlockPool::unbounded(3);
+        let layer = filled_layer_in(8, pool);
+        let full = layer.keys(0);
+        let causal = full.truncated(5);
+        assert_eq!(causal.shape(), (5, 3));
+        assert_eq!(&*causal.row(4), &*full.row(4));
+        // vecmat over the truncated view only covers the visible slots.
+        let paged = causal.vecmat(&[1.0; 5]).unwrap();
+        let dense = full.to_matrix().gather_rows(&[0, 1, 2, 3, 4]);
+        let reference = dense.vecmat(&[1.0; 5]).unwrap();
+        for (a, b) in paged.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        assert_eq!(full.truncated(8).len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot extend")]
+    fn truncated_slice_rejects_growth() {
+        let layer = filled_layer(4);
+        let _ = layer.keys(0).truncated(5);
+    }
+
+    #[test]
+    fn blocks_needed_for_next_n_tokens_matches_single_token_case() {
+        let pool = SharedBlockPool::unbounded(4);
+        let mut cache = KvCache::with_pool(2, 2, 3, pool);
+        for layer in cache.layers.iter_mut() {
+            for i in 0..6 {
+                let k = vec![vec![0.0; 3]; 2];
+                layer.append(i, &k, &k).unwrap();
+            }
+        }
+        // 6 slots fill 1.5 blocks of 4: 2 free slots per layer remain.
+        assert_eq!(cache.blocks_needed_for_next_n_tokens(0), 0);
+        assert_eq!(
+            cache.blocks_needed_for_next_n_tokens(1),
+            cache.blocks_needed_for_next_token()
+        );
+        assert_eq!(cache.blocks_needed_for_next_n_tokens(2), 0);
+        assert_eq!(cache.blocks_needed_for_next_n_tokens(3), 2);
+        assert_eq!(cache.blocks_needed_for_next_n_tokens(6), 2);
+        assert_eq!(cache.blocks_needed_for_next_n_tokens(7), 4);
     }
 
     #[test]

@@ -71,7 +71,12 @@ impl RotatedKeyCache {
     ///
     /// Cost: proportional to the rows whose `(id, generation)` changed plus
     /// freshly appended rows — zero steady-state work (and zero allocations
-    /// away from block boundaries) during decode without eviction.
+    /// away from block boundaries) during decode without eviction. This is
+    /// also the batch-rotate primitive of chunk-batched prefill: after a bulk
+    /// append of a whole chunk's key rows
+    /// ([`LayerKvCache::append_batch_from_slices`]), one `sync` call tops up
+    /// every appended row (and rebuilds any block a quantize-on-seal
+    /// generation bump invalidated) in a single pass.
     ///
     /// # Panics
     ///

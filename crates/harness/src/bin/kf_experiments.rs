@@ -25,11 +25,16 @@
 //! utilization and ROUGE deltas per policy/budget), and running `hotpath`
 //! writes `BENCH_hotpath.json` (legacy allocating forward path vs the
 //! zero-allocation workspace path: ns/token, tokens/sec and speedup, token
-//! streams verified identical) to the working directory, so CI can archive
-//! the serving trajectories as machine-readable data.
+//! streams verified identical), and running `prefill` writes
+//! `BENCH_prefill.json` (chunk-batched GEMM prompt pass vs the sequential
+//! token-at-a-time pass: prefill tokens/sec, TTFT and speedup per chunk size,
+//! token streams verified identical) to the working directory, so CI can
+//! archive the serving trajectories as machine-readable data.
 
 use keyformer_harness::report::Table;
-use keyformer_harness::{hotpath, paging, parallel, prefix, quantization, serving, streaming};
+use keyformer_harness::{
+    hotpath, paging, parallel, prefill, prefix, quantization, serving, streaming,
+};
 use keyformer_harness::{run_experiment, ExperimentId};
 use serde::Serialize;
 
@@ -49,6 +54,8 @@ const PARALLEL_JSON: &str = "BENCH_parallel.json";
 const QUANT_JSON: &str = "BENCH_quant.json";
 /// File the hot-path experiment's machine-readable summary is written to.
 const HOTPATH_JSON: &str = "BENCH_hotpath.json";
+/// File the prefill experiment's machine-readable summary is written to.
+const PREFILL_JSON: &str = "BENCH_prefill.json";
 
 /// Writes an experiment's machine-readable summary, exiting loudly on failure —
 /// a missing or stale JSON data point must not leave a previous run's file
@@ -102,6 +109,11 @@ fn run_with_artifacts(id: ExperimentId, samples: usize) -> Table {
         ExperimentId::Hotpath => {
             let (table, summaries) = hotpath::hotpath_report(samples);
             write_summary(HOTPATH_JSON, &summaries);
+            table
+        }
+        ExperimentId::Prefill => {
+            let (table, summaries) = prefill::prefill_report(samples);
+            write_summary(PREFILL_JSON, &summaries);
             table
         }
         _ => run_experiment(id, samples),

@@ -18,6 +18,7 @@ pub mod hotpath;
 pub mod paging;
 pub mod parallel;
 pub mod perf;
+pub mod prefill;
 pub mod prefix;
 pub mod quantization;
 pub mod registry;

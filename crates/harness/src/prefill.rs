@@ -1,0 +1,361 @@
+//! Prefill batching experiment: chunk-batched GEMM prefill versus the
+//! sequential token-at-a-time prompt pass, measured in the same process.
+//!
+//! PR 9 made `advance_prefill` forward a whole admitted chunk per decoder-layer
+//! pass (`forward_chunk_ws` in [`keyformer_model::workspace`]): QKV/output/FFN
+//! projections become per-chunk GEMMs through the tiled `Matrix::matmul_into`
+//! micro-kernel, fresh KV rows are appended in bulk and the chunk's queries
+//! attend under a causal mask against cached-plus-fresh keys. The sequential
+//! path is kept callable
+//! ([`keyformer_model::ForwardPath::Legacy`]) so this experiment can measure
+//! both prompt-pass implementations against the same weights in one process
+//! and verify their token streams — eviction decisions, sampler RNG and all —
+//! are byte-identical at every chunk size.
+//!
+//! The grid covers the three positional families and both KV dtypes (the u8
+//! store exercises the quantize-on-seal run splitting), each at chunk sizes
+//! 8/32/128 against the sequential baseline. Wall-clock fields (`wall_ms`,
+//! `prefill_ms`, `ttft_ms`, `prefill_tokens_per_sec`, `speedup`) vary run to
+//! run and are stripped by the CI identity check; everything else is
+//! deterministic.
+
+use crate::report::{fmt, Table};
+use keyformer_core::budget::CacheBudgetSpec;
+use keyformer_core::cache::KvDtype;
+use keyformer_core::spec::PolicySpec;
+use keyformer_model::families::ModelFamily;
+use keyformer_model::generation::{GenerationConfig, GenerationOutput};
+use keyformer_model::model::TransformerModel;
+use keyformer_model::session::Session;
+use keyformer_model::workspace::ForwardPath;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Weight seed of the prefill experiment's models (distinct from the other
+/// benches so regressions cannot mask each other).
+const MODEL_SEED: u64 = 41;
+/// Prompt length of the measured requests — long enough that the largest
+/// chunk size still takes two passes.
+const PROMPT_LEN: usize = 256;
+/// Tokens generated per request — short relative to the prompt so prefill,
+/// not decode, dominates the wall clock (the decode path is identical on
+/// both sides and already measured by `hotpath`).
+const GEN_TOKENS: usize = 8;
+/// Chunk sizes swept for the batched path.
+const CHUNK_SIZES: [usize; 3] = [8, 32, 128];
+/// KV budget fraction applied to the budgeted configuration.
+const CACHE_FRACTION: f64 = 0.5;
+
+/// Machine-readable summary of one (configuration, path, chunk) run, emitted
+/// as `BENCH_prefill.json` by `kf_experiments`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrefillSummary {
+    /// Configuration label (family / policy / KV dtype).
+    pub config: String,
+    /// `sequential` or `batched`.
+    pub path: String,
+    /// Tokens forwarded per `advance_prefill` call (the full prompt for the
+    /// sequential baseline).
+    pub chunk: usize,
+    /// Prompt tokens per request.
+    pub prompt_len: usize,
+    /// Tokens generated per request.
+    pub gen_tokens: usize,
+    /// Timed repetitions of the full request.
+    pub reps: usize,
+    /// Wall-clock milliseconds across all repetitions (prefill + decode).
+    pub wall_ms: f64,
+    /// Milliseconds spent in the prompt pass across all repetitions.
+    pub prefill_ms: f64,
+    /// Mean time-to-first-token per request (arm the prompt, run prefill to
+    /// completion, emit one token), in milliseconds.
+    pub ttft_ms: f64,
+    /// Prompt tokens forwarded per wall-clock second of prefill.
+    pub prefill_tokens_per_sec: f64,
+    /// Prefill wall-clock speedup over the same configuration's sequential
+    /// run (1.0 for the sequential rows themselves).
+    pub speedup: f64,
+    /// Whether this run's token stream is byte-identical to the sequential
+    /// path's. Anything but `true` is a correctness bug.
+    pub token_identical: bool,
+}
+
+/// One measured configuration of the grid.
+struct Config {
+    label: String,
+    family: ModelFamily,
+    policy: PolicySpec,
+    budget: Option<CacheBudgetSpec>,
+    dtype: KvDtype,
+}
+
+/// The measured grid: the headline full-attention RoPE rows first (the
+/// acceptance bar's ≥ 2× claim is about GPT-J-like/f32 at chunk ≥ 32), then
+/// the other positional families, the quantized store whose seal boundaries
+/// split the batched appends, and a budgeted Keyformer row whose end-of-prompt
+/// eviction consumes the replayed score accumulators.
+fn prefill_configs() -> Vec<Config> {
+    let budget = CacheBudgetSpec::with_fraction(CACHE_FRACTION).expect("valid fraction");
+    let pct = (CACHE_FRACTION * 100.0) as usize;
+    vec![
+        Config {
+            label: "GPT-J-like/Full/f32".into(),
+            family: ModelFamily::GptJLike,
+            policy: PolicySpec::Full,
+            budget: None,
+            dtype: KvDtype::F32,
+        },
+        Config {
+            label: "Cerebras-like/Full/f32".into(),
+            family: ModelFamily::CerebrasLike,
+            policy: PolicySpec::Full,
+            budget: None,
+            dtype: KvDtype::F32,
+        },
+        Config {
+            label: "MPT-like/Full/f32".into(),
+            family: ModelFamily::MptLike,
+            policy: PolicySpec::Full,
+            budget: None,
+            dtype: KvDtype::F32,
+        },
+        Config {
+            label: "GPT-J-like/Full/u8".into(),
+            family: ModelFamily::GptJLike,
+            policy: PolicySpec::Full,
+            budget: None,
+            dtype: KvDtype::U8,
+        },
+        Config {
+            label: format!("GPT-J-like/Keyformer@{pct}%/f32"),
+            family: ModelFamily::GptJLike,
+            policy: PolicySpec::keyformer_default(),
+            budget: Some(budget),
+            dtype: KvDtype::F32,
+        },
+        Config {
+            label: format!("MPT-like/H2O@{pct}%/u8"),
+            family: ModelFamily::MptLike,
+            policy: PolicySpec::h2o_default(),
+            budget: Some(budget),
+            dtype: KvDtype::U8,
+        },
+    ]
+}
+
+/// The deterministic prompt every run prefills.
+fn prompt(prompt_len: usize, vocab: usize) -> Vec<u32> {
+    (0..prompt_len)
+        .map(|t| ((t * 13 + 5) % vocab) as u32)
+        .collect()
+}
+
+/// One request's measurement: prefill and first-token wall clock plus the
+/// full output for identity checking.
+struct RequestRun {
+    prefill_ms: f64,
+    ttft_ms: f64,
+    output: GenerationOutput,
+}
+
+/// Runs one request on a fresh session along `path`, timing the prompt pass
+/// and the time-to-first-token separately from decode.
+fn run_once(
+    model: &TransformerModel,
+    cfg: &Config,
+    path: ForwardPath,
+    chunk: usize,
+    prompt: &[u32],
+    gen: &GenerationConfig,
+) -> RequestRun {
+    let policy = cfg.policy.build().expect("zoo specs build");
+    let mut session = Session::with_dtype(model, policy, cfg.budget, cfg.dtype)
+        .with_forward_path(path)
+        .with_prefill_chunk(chunk);
+    let start = Instant::now();
+    session.begin(prompt, gen).expect("prompt arms");
+    while session.is_prefilling() {
+        session
+            .advance_prefill()
+            .expect("unbounded pools never stall");
+    }
+    let prefill_ms = start.elapsed().as_secs_f64() * 1e3;
+    if session.is_decoding() {
+        session.step().expect("first token decodes");
+    }
+    let ttft_ms = start.elapsed().as_secs_f64() * 1e3;
+    while session.is_decoding() {
+        session.step().expect("request completes");
+    }
+    RequestRun {
+        prefill_ms,
+        ttft_ms,
+        output: session.take_output().expect("output ready"),
+    }
+}
+
+/// Times `reps` repetitions of the request along `path` (after one untimed
+/// warm-up), returning summed prefill/total wall clock, mean TTFT and the
+/// reference output.
+fn timed_runs(
+    model: &TransformerModel,
+    cfg: &Config,
+    path: ForwardPath,
+    chunk: usize,
+    prompt: &[u32],
+    gen: &GenerationConfig,
+    reps: usize,
+) -> (f64, f64, f64, GenerationOutput) {
+    let reference = run_once(model, cfg, path, chunk, prompt, gen).output;
+    let start = Instant::now();
+    let mut prefill_ms = 0.0;
+    let mut ttft_sum = 0.0;
+    for _ in 0..reps {
+        let run = run_once(model, cfg, path, chunk, prompt, gen);
+        debug_assert_eq!(run.output, reference, "prefill runs must be deterministic");
+        prefill_ms += run.prefill_ms;
+        ttft_sum += run.ttft_ms;
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    (wall_ms, prefill_ms, ttft_sum / reps as f64, reference)
+}
+
+/// Runs the full grid for one request shape.
+fn prefill_grid(
+    prompt_len: usize,
+    gen_tokens: usize,
+    chunks: &[usize],
+    reps: usize,
+) -> (Table, Vec<PrefillSummary>) {
+    let mut table = Table::new(
+        format!(
+            "Chunk-batched GEMM prefill vs sequential token-at-a-time prompt \
+             pass, same process (prompt {prompt_len}, {gen_tokens} generated \
+             tokens, {reps} timed repetitions; token streams verified \
+             identical between paths at every chunk size)"
+        ),
+        &[
+            "config",
+            "path",
+            "chunk",
+            "prefill_ms",
+            "ttft_ms",
+            "prefill tok/s",
+            "speedup",
+            "identical",
+        ],
+    );
+    let gen = GenerationConfig::new(gen_tokens);
+    let mut summaries = Vec::new();
+    for cfg in prefill_configs() {
+        let model = cfg.family.build(MODEL_SEED);
+        let prompt = prompt(prompt_len, model.config().vocab_size);
+        let mut baseline: Option<(f64, GenerationOutput)> = None;
+        // The sequential baseline forwards the whole prompt one token per
+        // layer pass; the batched rows sweep the chunk sizes.
+        let mut rows: Vec<(ForwardPath, usize)> = vec![(ForwardPath::Legacy, prompt_len)];
+        rows.extend(chunks.iter().map(|&c| (ForwardPath::Workspace, c)));
+        for (path, chunk) in rows {
+            let (wall_ms, prefill_ms, ttft_ms, output) =
+                timed_runs(&model, &cfg, path, chunk, &prompt, &gen, reps);
+            let (base_prefill_ms, token_identical) = match &baseline {
+                None => {
+                    baseline = Some((prefill_ms, output));
+                    (prefill_ms, true)
+                }
+                Some((base_ms, base_out)) => (*base_ms, output == *base_out),
+            };
+            let prefill_secs = (prefill_ms / 1e3).max(f64::EPSILON);
+            let summary = PrefillSummary {
+                config: cfg.label.clone(),
+                path: match path {
+                    ForwardPath::Legacy => "sequential".into(),
+                    ForwardPath::Workspace => "batched".into(),
+                },
+                chunk,
+                prompt_len,
+                gen_tokens,
+                reps,
+                wall_ms,
+                prefill_ms,
+                ttft_ms,
+                prefill_tokens_per_sec: (reps * prompt_len) as f64 / prefill_secs,
+                speedup: base_prefill_ms / prefill_ms.max(f64::EPSILON),
+                token_identical,
+            };
+            table.push_row(vec![
+                summary.config.clone(),
+                summary.path.clone(),
+                summary.chunk.to_string(),
+                fmt(summary.prefill_ms),
+                fmt(summary.ttft_ms),
+                fmt(summary.prefill_tokens_per_sec),
+                fmt(summary.speedup),
+                summary.token_identical.to_string(),
+            ]);
+            summaries.push(summary);
+        }
+    }
+    (table, summaries)
+}
+
+/// Runs the prefill grid and returns both the rendered table and the
+/// per-(configuration, path, chunk) summaries.
+///
+/// `samples` scales the timed repetitions per configuration.
+pub fn prefill_report(samples: usize) -> (Table, Vec<PrefillSummary>) {
+    prefill_grid(PROMPT_LEN, GEN_TOKENS, &CHUNK_SIZES, samples.max(1))
+}
+
+/// Table-only entry point used by the experiment registry.
+pub fn prefill(samples: usize) -> Table {
+    prefill_report(samples).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_every_config_at_every_chunk_and_stays_identical() {
+        // A short request shape keeps the full grid affordable in unoptimized
+        // test builds; the code path is exactly the experiment's.
+        let (table, summaries) = prefill_grid(12, 2, &[4, 8], 1);
+        assert_eq!(
+            summaries.len(),
+            prefill_configs().len() * 3,
+            "every configuration runs sequentially and at every chunk size"
+        );
+        for summary in &summaries {
+            assert!(
+                summary.token_identical,
+                "{} batched at chunk {} diverged from sequential",
+                summary.config, summary.chunk
+            );
+            assert!(summary.prefill_ms > 0.0 && summary.ttft_ms > 0.0);
+            assert!(summary.speedup > 0.0);
+        }
+        assert_eq!(table.rows.len(), summaries.len());
+    }
+
+    #[test]
+    fn summaries_serialize_round_trip() {
+        let summaries = vec![PrefillSummary {
+            config: "GPT-J-like/Full/f32".into(),
+            path: "batched".into(),
+            chunk: 32,
+            prompt_len: 256,
+            gen_tokens: 8,
+            reps: 3,
+            wall_ms: 410.0,
+            prefill_ms: 310.5,
+            ttft_ms: 104.0,
+            prefill_tokens_per_sec: 2473.4,
+            speedup: 2.6,
+            token_identical: true,
+        }];
+        let json = serde_json::to_string(&summaries).expect("serializes");
+        let back: Vec<PrefillSummary> = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, summaries);
+    }
+}

@@ -3,7 +3,8 @@
 
 use crate::report::Table;
 use crate::{
-    accuracy, analysis, hotpath, paging, parallel, perf, prefix, quantization, serving, streaming,
+    accuracy, analysis, hotpath, paging, parallel, perf, prefill, prefix, quantization, serving,
+    streaming,
 };
 use serde::{Deserialize, Serialize};
 
@@ -75,6 +76,10 @@ pub enum ExperimentId {
     /// block-row iteration), same process, token streams verified identical
     /// (not a paper artefact).
     Hotpath,
+    /// Prefill batching: chunk-batched GEMM prompt pass vs the sequential
+    /// token-at-a-time pass (prefill tokens/sec, TTFT and speedup per chunk
+    /// size, token streams verified identical) (not a paper artefact).
+    Prefill,
 }
 
 impl ExperimentId {
@@ -107,6 +112,7 @@ impl ExperimentId {
             ParallelScaling,
             Quantization,
             Hotpath,
+            Prefill,
         ]
     }
 
@@ -139,6 +145,7 @@ impl ExperimentId {
             "parallel_scaling" => ParallelScaling,
             "quantization" => Quantization,
             "hotpath" => Hotpath,
+            "prefill" => Prefill,
             _ => return None,
         })
     }
@@ -172,6 +179,7 @@ impl ExperimentId {
             ParallelScaling => "parallel_scaling",
             Quantization => "quantization",
             Hotpath => "hotpath",
+            Prefill => "prefill",
         }
     }
 }
@@ -213,6 +221,7 @@ pub fn run_experiment(id: ExperimentId, samples: usize) -> Table {
         ExperimentId::ParallelScaling => parallel::parallel_scaling(samples),
         ExperimentId::Quantization => quantization::quantization(samples),
         ExperimentId::Hotpath => hotpath::hotpath(samples),
+        ExperimentId::Prefill => prefill::prefill(samples),
     }
 }
 
@@ -233,9 +242,9 @@ mod tests {
     #[test]
     fn all_lists_every_experiment() {
         // 18 paper artefacts + the serving-throughput, paging, prefix-sharing,
-        // streaming-latency, parallel-scaling, quantization and hotpath
-        // experiments.
-        assert_eq!(ExperimentId::all().len(), 25);
+        // streaming-latency, parallel-scaling, quantization, hotpath and
+        // prefill experiments.
+        assert_eq!(ExperimentId::all().len(), 26);
     }
 
     #[test]

@@ -44,8 +44,8 @@ use crate::config::ModelConfig;
 use crate::generation::{GenerationConfig, GenerationOutput, SamplingStrategy};
 use crate::model::{ForwardContext, TransformerModel};
 use crate::stats::AttentionStats;
-use crate::workspace::{forward_token_ws, ForwardPath, ForwardWorkspace};
-use keyformer_core::block::SharedBlockPool;
+use crate::workspace::{forward_chunk_ws, forward_token_ws, ForwardPath, ForwardWorkspace};
+use keyformer_core::block::{OvercommitPolicy, SharedBlockPool};
 use keyformer_core::budget::{CacheBudget, CacheBudgetSpec};
 use keyformer_core::cache::{KvCache, KvDtype};
 use keyformer_core::observation::Phase;
@@ -488,20 +488,77 @@ impl<'m> Session<'m> {
             .map(|spec| spec.for_prompt_len(prompt.len()));
         self.reserve_for_request(prompt.len(), total_generation_steps);
         let mut logits = Vec::new();
-        for (pos, &tok) in prompt.iter().enumerate() {
-            self.forward_into(
-                tok,
-                pos,
-                Phase::Prompt,
-                pos,
-                total_generation_steps,
-                &mut logits,
-            )?;
-            self.maybe_register_prefix(pos + 1)?;
+        match self.path {
+            ForwardPath::Legacy => {
+                for (pos, &tok) in prompt.iter().enumerate() {
+                    self.forward_into(
+                        tok,
+                        pos,
+                        Phase::Prompt,
+                        pos,
+                        total_generation_steps,
+                        &mut logits,
+                    )?;
+                    self.maybe_register_prefix(pos + 1)?;
+                }
+            }
+            // One-shot prefill is a single maximal chunk through the batched
+            // GEMM path (byte-identical to the per-token loop).
+            ForwardPath::Workspace => {
+                self.forward_prompt_chunk(
+                    prompt,
+                    0,
+                    prompt.len(),
+                    total_generation_steps,
+                    &mut logits,
+                )?;
+            }
         }
         // The paper reduces the cache once at the end of the prompt phase.
         self.evict_to_budget()?;
         Ok(logits)
+    }
+
+    /// Forwards `n` prompt tokens starting at `start` through the
+    /// chunk-batched workspace path ([`forward_chunk_ws`]), then replays the
+    /// buffered per-token attention observations token-major — so policy RNG
+    /// streams, statistics records and block-boundary prefix registrations
+    /// happen exactly where the token-at-a-time loop put them. Next-token
+    /// logits are produced only when the chunk reaches the end of the prompt.
+    fn forward_prompt_chunk(
+        &mut self,
+        prompt: &[u32],
+        start: usize,
+        n: usize,
+        total_steps: usize,
+        logits: &mut Vec<f32>,
+    ) -> Result<(), CoreError> {
+        let tokens = &prompt[start..start + n];
+        self.sequence.extend_from_slice(tokens);
+        let compute_logits = start + n == prompt.len();
+        let chunk_peak = forward_chunk_ws(
+            self.model,
+            tokens,
+            start,
+            &mut self.cache,
+            &self.sequence,
+            &mut self.ws,
+            compute_logits,
+            logits,
+        )?;
+        self.peak_cache_bytes = self.peak_cache_bytes.max(chunk_peak);
+        for i in 0..n {
+            self.ws.replay_chunk_token(
+                i,
+                start + i,
+                total_steps,
+                &self.cache,
+                self.policy.as_mut(),
+                self.stats.as_mut(),
+            );
+            self.maybe_register_prefix(start + i + 1)?;
+        }
+        Ok(())
     }
 
     /// Arms a stepwise decode of up to `config.max_new_tokens` tokens for
@@ -717,6 +774,17 @@ impl<'m> Session<'m> {
     /// propagates forward and eviction errors — after which the session holds
     /// neither a prefill nor a decode, so a scheduler can retire it safely.
     pub fn advance_prefill(&mut self) -> Result<PrefillProgress, CoreError> {
+        match self.path {
+            ForwardPath::Legacy => self.advance_prefill_sequential(),
+            ForwardPath::Workspace => self.advance_prefill_batched(),
+        }
+    }
+
+    /// The token-at-a-time prefill loop of the [`ForwardPath::Legacy`] path:
+    /// per-token pool pre-flight, forward, prefix registration. The batched
+    /// path reproduces its admission decisions, stall points and every emitted
+    /// bit.
+    fn advance_prefill_sequential(&mut self) -> Result<PrefillProgress, CoreError> {
         let Some(mut p) = self.prefill.take() else {
             return Err(CoreError::InvalidConfig(
                 "no prefill in progress; call begin() with a prefill chunk first".into(),
@@ -756,6 +824,86 @@ impl<'m> Session<'m> {
             processed_now += 1;
             self.maybe_register_prefix(p.processed)?;
         }
+        self.finish_or_report_prefill(p, logits, processed_now, stalled)
+    }
+
+    /// Chunk-batched prefill: admits the largest prompt prefix of this call's
+    /// chunk that the block pool can cover — decided by *one* exact
+    /// [`KvCache::blocks_needed_for_next_n_tokens`] query against the pool's
+    /// transient headroom instead of a per-token pool round-trip — and
+    /// forwards it through [`forward_chunk_ws`] in one pass per decoder layer.
+    ///
+    /// The cumulative block need of `n` appends is monotone in `n` and the
+    /// pool state is constant between registrations, so the largest admissible
+    /// prefix stalls on exactly the token the sequential per-token pre-flight
+    /// would have refused. The one event that changes pool state *inside* a
+    /// chunk is a successful prefix registration on a bounded strict pool
+    /// (it reserves pins); registrations only fire at block boundaries, so in
+    /// that configuration the chunk is split at block boundaries and the
+    /// headroom re-read per segment, which reproduces the sequential admission
+    /// exactly.
+    fn advance_prefill_batched(&mut self) -> Result<PrefillProgress, CoreError> {
+        let Some(mut p) = self.prefill.take() else {
+            return Err(CoreError::InvalidConfig(
+                "no prefill in progress; call begin() with a prefill chunk first".into(),
+            ));
+        };
+        let chunk = self.prefill_chunk.unwrap_or(usize::MAX).max(1);
+        let mut processed_now = 0;
+        let mut logits = Vec::new();
+        let mut stalled = false;
+        let bs = self.cache.block_size().max(1);
+        let segment_at_blocks = self.prefix_registry.is_some()
+            && self.cache.pool().overcommit() == OvercommitPolicy::Strict
+            && self.cache.pool().capacity_blocks().is_some();
+        while p.processed < p.prompt.len() && processed_now < chunk && !stalled {
+            let mut want = (p.prompt.len() - p.processed).min(chunk - processed_now);
+            if segment_at_blocks {
+                want = want.min(bs - p.processed % bs);
+            }
+            let headroom = self
+                .cache
+                .pool()
+                .max_transient_blocks(self.cache.total_blocks(), self.block_reservation);
+            let n = if self.cache.blocks_needed_for_next_n_tokens(want) <= headroom {
+                want
+            } else {
+                // Largest prefix whose cumulative block need still fits; the
+                // need is monotone and needed(0) == 0, so the search is total.
+                stalled = true;
+                let (mut lo, mut hi) = (0usize, want - 1);
+                while lo < hi {
+                    let mid = (lo + hi).div_ceil(2);
+                    if self.cache.blocks_needed_for_next_n_tokens(mid) <= headroom {
+                        lo = mid;
+                    } else {
+                        hi = mid - 1;
+                    }
+                }
+                lo
+            };
+            if n == 0 {
+                break;
+            }
+            let start = p.processed;
+            self.forward_prompt_chunk(&p.prompt, start, n, p.config.max_new_tokens, &mut logits)?;
+            p.processed += n;
+            processed_now += n;
+        }
+        self.finish_or_report_prefill(p, logits, processed_now, stalled)
+    }
+
+    /// Shared tail of both prefill drivers: arms the decode once the final
+    /// prompt token has been forwarded (after the CoW-fork pre-flight and the
+    /// paper's single end-of-prompt eviction), or re-arms the prefill state
+    /// and reports progress.
+    fn finish_or_report_prefill(
+        &mut self,
+        p: PrefillState,
+        logits: Vec<f32>,
+        processed_now: usize,
+        stalled: bool,
+    ) -> Result<PrefillProgress, CoreError> {
         if p.processed == p.prompt.len() {
             // The end-of-prompt eviction may have to CoW-fork blocks this
             // session shares (an attached prefix compacted in place), and each

@@ -28,12 +28,13 @@ use crate::model::{ForwardContext, TransformerModel};
 use crate::positional::{
     alibi_bias, alibi_slope, apply_rope_scaled, PositionalEncoding, ROPE_BASE,
 };
-use crate::stats::AttentionRecord;
+use crate::stats::{AttentionRecord, AttentionStats};
 use crate::weights::LayerWeights;
-use keyformer_core::cache::LayerKvCache;
-use keyformer_core::observation::AttentionObservation;
+use keyformer_core::cache::{KvCache, KvDtype, LayerKvCache};
+use keyformer_core::observation::{AttentionObservation, Phase};
+use keyformer_core::policy::KvCachePolicy;
 use keyformer_core::{CoreError, RotatedKeyCache};
-use keyformer_tensor::ops::{gelu_in_place, layer_norm_into, softmax_into};
+use keyformer_tensor::ops::{gelu_in_place, layer_norm_into, layer_norm_slice, softmax_into};
 use keyformer_tensor::vector::dot;
 
 const LN_EPS: f32 = 1e-5;
@@ -80,6 +81,55 @@ pub(crate) struct AttnScratch {
     mean_probs: Vec<f32>,
 }
 
+/// Scratch owned by the chunk-batched prefill forward
+/// ([`forward_chunk_ws`]): flat `[token][feature]` row blocks sized to the
+/// chunk being forwarded, plus the buffered attention logits the session
+/// replays token-major afterwards. All buffers keep their capacity across
+/// chunks.
+#[derive(Debug, Clone)]
+pub(crate) struct ChunkScratch {
+    /// Residual stream rows, `chunk x d_model`.
+    hidden: Vec<f32>,
+    /// LayerNorm output rows (reused for both pre-norms), `chunk x d_model`.
+    normed: Vec<f32>,
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    /// Per-token attention context rows, `chunk x d_model`.
+    context: Vec<f32>,
+    /// Projection output rows (`wo` and `ffn_out`), `chunk x d_model`.
+    proj: Vec<f32>,
+    /// FFN inner activations, `chunk x d_ff`.
+    inner: Vec<f32>,
+    /// Weight-panel packing scratch of the batched GEMM.
+    pack: Vec<f32>,
+    /// Every attention-logit row of the chunk, concatenated in compute
+    /// (layer-major) order.
+    obs_data: Vec<f32>,
+    /// `(offset, len)` into `obs_data`, indexed `(token * L + layer) * H +
+    /// head`, so the replay can walk the rows in sequential (token-major)
+    /// order.
+    obs_index: Vec<(usize, usize)>,
+}
+
+impl ChunkScratch {
+    fn new() -> Self {
+        ChunkScratch {
+            hidden: Vec::new(),
+            normed: Vec::new(),
+            q: Vec::new(),
+            k: Vec::new(),
+            v: Vec::new(),
+            context: Vec::new(),
+            proj: Vec::new(),
+            inner: Vec::new(),
+            pack: Vec::new(),
+            obs_data: Vec::new(),
+            obs_index: Vec::new(),
+        }
+    }
+}
+
 /// All reusable state of the allocation-free forward path, owned by a
 /// [`crate::session::Session`].
 #[derive(Debug, Clone)]
@@ -93,6 +143,8 @@ pub struct ForwardWorkspace {
     pub(crate) attn: AttnScratch,
     /// One rotated-key cache per decoder layer.
     rot: Vec<RotatedKeyCache>,
+    /// Chunk-batched prefill scratch.
+    pub(crate) chunk: ChunkScratch,
 }
 
 impl ForwardWorkspace {
@@ -128,6 +180,7 @@ impl ForwardWorkspace {
             rot: (0..config.num_layers)
                 .map(|_| RotatedKeyCache::new(config.num_heads, head_dim, block_size))
                 .collect(),
+            chunk: ChunkScratch::new(),
         }
     }
 
@@ -144,6 +197,55 @@ impl ForwardWorkspace {
     pub fn clear(&mut self) {
         for rot in &mut self.rot {
             rot.clear();
+        }
+    }
+
+    /// Replays the attention observations [`forward_chunk_ws`] buffered for
+    /// one chunk token against the policy (and, when enabled, the statistics
+    /// collector), in exactly the per-(layer, head) order the sequential
+    /// forward would have produced them. The buffered logit rows are the
+    /// sequential path's bits, so Gumbel-sampling policies draw the identical
+    /// RNG stream and the recomputed softmax rows match the sequential
+    /// statistics records bit-for-bit.
+    pub(crate) fn replay_chunk_token(
+        &mut self,
+        chunk_index: usize,
+        step: usize,
+        total_steps: usize,
+        cache: &KvCache,
+        policy: &mut dyn KvCachePolicy,
+        mut stats: Option<&mut AttentionStats>,
+    ) {
+        let num_layers = self.rot.len();
+        let num_heads = self.alibi_slopes.len();
+        for layer in 0..num_layers {
+            for head in 0..num_heads {
+                let (offset, len) =
+                    self.chunk.obs_index[(chunk_index * num_layers + layer) * num_heads + head];
+                let logits = &self.chunk.obs_data[offset..offset + len];
+                policy.observe(&AttentionObservation {
+                    layer,
+                    head,
+                    phase: Phase::Prompt,
+                    step,
+                    total_steps,
+                    logits,
+                });
+                if let Some(stats) = stats.as_deref_mut() {
+                    // At this token's turn the layer held exactly `len` slots;
+                    // the prompt phase only appends, so the prefix of today's
+                    // position table is that moment's table.
+                    softmax_into(logits, &mut self.attn.probs);
+                    stats.record(AttentionRecord {
+                        layer,
+                        head,
+                        step,
+                        phase: Phase::Prompt,
+                        probs: self.attn.probs.clone(),
+                        positions: cache.layer(layer).positions()[..len].to_vec(),
+                    });
+                }
+            }
         }
     }
 }
@@ -168,6 +270,7 @@ pub(crate) fn forward_token_ws(
         layer: layer_scratch,
         attn,
         rot,
+        ..
     } = ws;
     model.embed_into(token, position, hidden);
     copy_votes.fill(0.0);
@@ -233,6 +336,373 @@ pub(crate) fn forward_token_ws(
         }
     }
     Ok(())
+}
+
+/// Chunk-batched prompt forward: runs `tokens` through each decoder layer
+/// *once*, with the three QKV projections, the output projection and both FFN
+/// matmuls batched into per-chunk GEMMs ([`keyformer_tensor::Matrix::matvec_batch_into`]),
+/// and appends each layer's fresh keys/values in bulk
+/// ([`LayerKvCache::append_batch_from_slices`]).
+///
+/// Byte-identity with the token-at-a-time path rests on four invariants:
+///
+/// * **GEMM bits** — every batched output element is the same single
+///   ascending-`k` accumulation chain the per-token `matvec_into` runs, so the
+///   projections produce identical bits (the micro-kernel only reorders
+///   *independent* chains across registers).
+/// * **Causality** — each chunk query `t` attends through
+///   [`keyformer_core::cache::KvSlice::truncated`] views of exactly the
+///   `pre + t + 1` slots the sequential path had live at that token, and the
+///   layer-major schedule only ever feeds a layer residual rows produced by
+///   the previous layer — the classic prefill factorization.
+/// * **Seal-delimited runs** — on `u8` layers an append that fills a block
+///   requantizes it, changing what later reads dequantize to. Appends are
+///   therefore batched in runs that break exactly at sealing appends (the
+///   sealing append *starts* its run), so every query reads each block in the
+///   same sealed/unsealed state the sequential interleaving exposed. `f32`
+///   layers are seal-invariant: one run covers the chunk.
+/// * **Deferred observation replay** — the per-(token, layer, head) attention
+///   logit rows are buffered, and the caller replays them token-major via
+///   [`ForwardWorkspace::replay_chunk_token`], preserving the sequential
+///   policy-RNG draw order and statistics stream.
+///
+/// Next-token logits (final LN, readout matmul and copy-vote bonus) are only
+/// computed — for the last chunk token — when `compute_logits` is set, i.e.
+/// when the chunk reaches the end of the prompt; mid-prompt logits are
+/// unobservable and the sequential path discards them.
+///
+/// Returns the chunk's peak cache byte size as the sequential per-token
+/// watermark would have seen it: within a run each layer's byte size grows
+/// monotonically and a sealing append only shrinks it, so sampling each layer
+/// at its run ends captures every per-token high-water candidate — including
+/// the `f32`-staged tail rows a quantize-on-seal collapses, which a simple
+/// end-of-chunk snapshot would miss.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn forward_chunk_ws(
+    model: &TransformerModel,
+    tokens: &[u32],
+    start_position: usize,
+    cache: &mut KvCache,
+    sequence: &[u32],
+    ws: &mut ForwardWorkspace,
+    compute_logits: bool,
+    out_logits: &mut Vec<f32>,
+) -> Result<usize, CoreError> {
+    let n = tokens.len();
+    if n == 0 {
+        return Ok(0);
+    }
+    let config = model.config();
+    let weights = model.weights();
+    let d_model = config.d_model;
+    let num_layers = config.num_layers;
+    let num_heads = config.num_heads;
+
+    // Embed every chunk token into its residual-stream row.
+    {
+        let staging = &mut ws.hidden;
+        let rows = &mut ws.chunk.hidden;
+        rows.clear();
+        rows.reserve(n * d_model);
+        for (i, &tok) in tokens.iter().enumerate() {
+            model.embed_into(tok, start_position + i, staging);
+            rows.extend_from_slice(staging);
+        }
+    }
+
+    let ForwardWorkspace {
+        final_hidden,
+        copy_votes,
+        alibi_slopes,
+        attn,
+        rot,
+        chunk,
+        ..
+    } = ws;
+    let ChunkScratch {
+        hidden,
+        normed,
+        q,
+        k,
+        v,
+        context,
+        proj,
+        inner,
+        pack,
+        obs_data,
+        obs_index,
+    } = chunk;
+    obs_data.clear();
+    obs_index.clear();
+    obs_index.resize(n * num_layers * num_heads, (0, 0));
+    let gather_copy = compute_logits && config.copy_strength > 0.0;
+    if gather_copy {
+        copy_votes.fill(0.0);
+    }
+    let mut copy_total = 0.0f32;
+    let mut peak_bytes = 0usize;
+
+    for (layer, layer_rot) in rot.iter_mut().enumerate() {
+        let lw = &weights.layers[layer];
+        let layer_cache = cache.layer_mut(layer);
+        let pre = layer_cache.len();
+
+        // Pre-norm attention: LN every row, then one GEMM per projection.
+        normed.clear();
+        normed.resize(n * d_model, 0.0);
+        for (row, out) in hidden
+            .chunks_exact(d_model)
+            .zip(normed.chunks_exact_mut(d_model))
+        {
+            layer_norm_slice(row, &lw.ln1_gain, &lw.ln1_bias, LN_EPS, out);
+        }
+        lw.wq
+            .matvec_batch_into(normed, n, q, pack)
+            .expect("wq shape");
+        lw.wk
+            .matvec_batch_into(normed, n, k, pack)
+            .expect("wk shape");
+        lw.wv
+            .matvec_batch_into(normed, n, v, pack)
+            .expect("wv shape");
+
+        context.clear();
+        context.resize(n * d_model, 0.0);
+
+        let bs = layer_cache.block_size().max(1);
+        let seals = layer_cache.dtype() != KvDtype::F32;
+        let mut layer_peak = 0usize;
+        let mut run_start = 0usize;
+        while run_start < n {
+            // A run ends where the *next* sealing append begins: queries
+            // before that append must read the block's staged rows, queries
+            // from it on read the sealed (requantized) rows.
+            let mut run_end = n;
+            if seals {
+                let mut i = run_start + 1;
+                while i < n {
+                    if (pre + i + 1) % bs == 0 {
+                        run_end = i;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            layer_cache.append_batch_from_slices(
+                start_position + run_start,
+                run_end - run_start,
+                &k[run_start * d_model..run_end * d_model],
+                &v[run_start * d_model..run_end * d_model],
+            )?;
+            layer_peak = layer_peak.max(layer_cache.byte_size());
+            if config.positional == PositionalEncoding::Rope {
+                let rope_scale = config.rope_scale;
+                let positions = layer_cache.positions();
+                match config.position_mode {
+                    PositionMode::Original => layer_rot.sync(layer_cache, |row, slot| {
+                        apply_rope_scaled(row, positions[slot] as f32 * rope_scale, ROPE_BASE);
+                    }),
+                    PositionMode::Remapped => layer_rot.sync(layer_cache, |row, slot| {
+                        apply_rope_scaled(row, slot as f32 * rope_scale, ROPE_BASE);
+                    }),
+                }
+            }
+            for t in run_start..run_end {
+                let obs_base = (t * num_layers + layer) * num_heads;
+                attend_chunk_query_ws(
+                    config,
+                    &q[t * d_model..(t + 1) * d_model],
+                    start_position + t,
+                    layer_cache,
+                    pre + t + 1,
+                    layer_rot,
+                    attn,
+                    alibi_slopes,
+                    &mut context[t * d_model..(t + 1) * d_model],
+                    obs_data,
+                    &mut obs_index[obs_base..obs_base + num_heads],
+                    gather_copy && t == n - 1,
+                );
+            }
+            run_start = run_end;
+        }
+        peak_bytes += layer_peak;
+
+        // Attention output projection, then the pre-norm feed-forward block.
+        lw.wo
+            .matvec_batch_into(context, n, proj, pack)
+            .expect("wo shape");
+        for (h, a) in hidden.iter_mut().zip(proj.iter()) {
+            *h += a;
+        }
+        for (row, out) in hidden
+            .chunks_exact(d_model)
+            .zip(normed.chunks_exact_mut(d_model))
+        {
+            layer_norm_slice(row, &lw.ln2_gain, &lw.ln2_bias, LN_EPS, out);
+        }
+        lw.ffn_in
+            .matvec_batch_into(normed, n, inner, pack)
+            .expect("ffn_in shape");
+        gelu_in_place(inner);
+        lw.ffn_out
+            .matvec_batch_into(inner, n, proj, pack)
+            .expect("ffn_out shape");
+        for (h, f) in hidden.iter_mut().zip(proj.iter()) {
+            *h += f;
+        }
+
+        if gather_copy {
+            let position = start_position + n - 1;
+            let positions = layer_cache.positions();
+            for (&slot_pos, &prob) in positions.iter().zip(attn.mean_probs.iter()) {
+                if slot_pos == position {
+                    continue;
+                }
+                if let Some(&successor) = sequence.get(slot_pos + 1) {
+                    if successor < config.copy_ignore_below {
+                        continue;
+                    }
+                    let idx = successor as usize;
+                    if idx < copy_votes.len() {
+                        copy_votes[idx] += prob;
+                        copy_total += prob;
+                    }
+                }
+            }
+        }
+    }
+
+    if compute_logits {
+        layer_norm_into(
+            &hidden[(n - 1) * d_model..n * d_model],
+            &weights.final_ln_gain,
+            &weights.final_ln_bias,
+            LN_EPS,
+            final_hidden,
+        );
+        weights
+            .embedding
+            .matvec_into(final_hidden, out_logits)
+            .expect("embedding readout shape");
+        if config.copy_strength > 0.0 && copy_total > 1e-6 {
+            for (logit, vote) in out_logits.iter_mut().zip(copy_votes.iter()) {
+                if *vote > 0.0 {
+                    *logit += config.copy_strength * vote / copy_total;
+                }
+            }
+        }
+    }
+    Ok(peak_bytes)
+}
+
+/// One chunk query of [`forward_chunk_ws`]: the same per-head arithmetic as
+/// [`attend_single_query_ws`], against a `live`-slot
+/// [`keyformer_core::cache::KvSlice::truncated`] causal view of the layer, with
+/// the policy observation *buffered* (into `obs_data` / `obs_slots`) instead of
+/// delivered — the session replays it token-major afterwards. The rotated-key
+/// cache must already cover `live` slots (one [`RotatedKeyCache::sync`] per
+/// run).
+#[allow(clippy::too_many_arguments)]
+fn attend_chunk_query_ws(
+    config: &ModelConfig,
+    query: &[f32],
+    query_position: usize,
+    cache: &LayerKvCache,
+    live: usize,
+    rot: &RotatedKeyCache,
+    attn: &mut AttnScratch,
+    alibi_slopes: &[f32],
+    context_out: &mut [f32],
+    obs_data: &mut Vec<f32>,
+    obs_slots: &mut [(usize, usize)],
+    want_mean_probs: bool,
+) {
+    let num_heads = config.num_heads;
+    let head_dim = config.head_dim();
+    debug_assert!(live >= 1 && live <= cache.len(), "causal view out of range");
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let positions = cache.positions();
+    let effective_query_pos = match config.position_mode {
+        PositionMode::Original => query_position,
+        // Under remapping the query sits immediately after the compacted cache.
+        PositionMode::Remapped => live - 1,
+    };
+
+    let AttnScratch {
+        q_head,
+        dequant,
+        logits,
+        probs,
+        mean_probs,
+        ..
+    } = attn;
+    if want_mean_probs {
+        mean_probs.clear();
+        mean_probs.resize(live, 0.0);
+    }
+
+    for head in 0..num_heads {
+        q_head.copy_from_slice(&query[head * head_dim..(head + 1) * head_dim]);
+        if config.positional == PositionalEncoding::Rope {
+            apply_rope_scaled(
+                q_head,
+                effective_query_pos as f32 * config.rope_scale,
+                ROPE_BASE,
+            );
+        }
+        let slope = alibi_slopes[head];
+        logits.clear();
+        match config.positional {
+            PositionalEncoding::Rope => {
+                for slot in 0..live {
+                    logits.push(dot(q_head, rot.row(head, slot)) * scale);
+                }
+            }
+            PositionalEncoding::Alibi => {
+                let keys = cache.keys(head).truncated(live);
+                match config.position_mode {
+                    PositionMode::Original => keys.for_each_row(dequant, |slot, row| {
+                        logits.push(
+                            dot(q_head, row) * scale
+                                + alibi_bias(slope, effective_query_pos, positions[slot]),
+                        );
+                    }),
+                    PositionMode::Remapped => keys.for_each_row(dequant, |slot, row| {
+                        logits.push(
+                            dot(q_head, row) * scale + alibi_bias(slope, effective_query_pos, slot),
+                        );
+                    }),
+                }
+            }
+            PositionalEncoding::Learned => {
+                let keys = cache.keys(head).truncated(live);
+                keys.for_each_row(dequant, |_slot, row| {
+                    logits.push(dot(q_head, row) * scale);
+                });
+            }
+        }
+
+        // Buffer the observation the sequential path would have delivered
+        // here; the session replays it in token-major order.
+        obs_slots[head] = (obs_data.len(), logits.len());
+        obs_data.extend_from_slice(logits);
+
+        softmax_into(logits, probs);
+        let values = cache.values(head).truncated(live);
+        values
+            .vecmat_into(
+                probs,
+                &mut context_out[head * head_dim..(head + 1) * head_dim],
+                dequant,
+            )
+            .expect("value matrix shape mismatch");
+        if want_mean_probs {
+            for (m, &p) in mean_probs.iter_mut().zip(probs.iter()) {
+                *m += p / num_heads as f32;
+            }
+        }
+    }
 }
 
 /// Workspace twin of [`crate::decoder::decoder_layer_forward`]: updates the

@@ -23,6 +23,90 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
+/// Register-tile height of the GEMM micro-kernel: rows of the left operand
+/// processed per tile.
+const GEMM_MR: usize = 4;
+/// Register-tile width of the GEMM micro-kernel: columns of the right operand
+/// processed per tile. `GEMM_MR * GEMM_NR` accumulators fit in registers.
+const GEMM_NR: usize = 16;
+
+/// GEMM micro-kernel: computes an `mr x nr` output tile whose element
+/// `(i0 + mi, jo + ni)` is the dot product of row `i0 + mi` of `a` (stride
+/// `lda`) with column `jb + ni` of `b` (stride `ldb`), written to `out` at
+/// stride `ldo`.
+///
+/// Every output element accumulates its `k` products through a **single chain
+/// in ascending-`k` order**, which makes the tile bit-identical to the
+/// `row.iter().zip(v).map(|(a, b)| a * b).sum::<f32>()` reduction used by
+/// [`Matrix::matvec`] — the contract that lets the chunk-batched prefill path
+/// reproduce the sequential path's tokens exactly. Register blocking only
+/// reorders *independent* chains, never splits one.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn gemm_tile(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    lda: usize,
+    ldb: usize,
+    ldo: usize,
+    i0: usize,
+    jb: usize,
+    jo: usize,
+    mr: usize,
+    nr: usize,
+    k: usize,
+) {
+    debug_assert!(mr <= GEMM_MR && nr <= GEMM_NR);
+    let mut acc = [[0.0f32; GEMM_NR]; GEMM_MR];
+    if nr == GEMM_NR {
+        // Full-width tile: fixed-length inner loop, so the adds vectorize.
+        for kk in 0..k {
+            let brow = &b[kk * ldb + jb..kk * ldb + jb + GEMM_NR];
+            for (mi, accrow) in acc[..mr].iter_mut().enumerate() {
+                let a_val = a[(i0 + mi) * lda + kk];
+                for (o, &bv) in accrow.iter_mut().zip(brow) {
+                    *o += a_val * bv;
+                }
+            }
+        }
+    } else {
+        // Ragged right/bottom edge: same arithmetic at runtime width.
+        for kk in 0..k {
+            let brow = &b[kk * ldb + jb..kk * ldb + jb + nr];
+            for (mi, accrow) in acc[..mr].iter_mut().enumerate() {
+                let a_val = a[(i0 + mi) * lda + kk];
+                for (o, &bv) in accrow[..nr].iter_mut().zip(brow) {
+                    *o += a_val * bv;
+                }
+            }
+        }
+    }
+    for (mi, accrow) in acc[..mr].iter().enumerate() {
+        let dst = (i0 + mi) * ldo + jo;
+        out[dst..dst + nr].copy_from_slice(&accrow[..nr]);
+    }
+}
+
+/// Tiled row-major GEMM `out = a * b` with `a` of shape `m x k`, `b` of shape
+/// `k x n` and `out` of shape `m x n`, all row-major and fully overwritten.
+fn gemm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let mut i0 = 0;
+    while i0 < m {
+        let mr = (m - i0).min(GEMM_MR);
+        let mut j0 = 0;
+        while j0 < n {
+            let nr = (n - j0).min(GEMM_NR);
+            gemm_tile(a, b, out, k, n, n, i0, j0, j0, mr, nr, k);
+            j0 += nr;
+        }
+        i0 += mr;
+    }
+}
+
 impl Matrix {
     /// Creates a matrix of zeros with the given shape.
     ///
@@ -282,21 +366,125 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // Cache-friendly ikj loop order.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let other_row = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(other_row.iter()) {
-                    *o += a * b;
+        gemm_nn(
+            &self.data,
+            &other.data,
+            self.rows,
+            self.cols,
+            other.cols,
+            &mut out.data,
+        );
+        Ok(out)
+    }
+
+    /// Matrix multiplication `self * other` written into a caller-owned flat
+    /// row-major buffer (`self.rows() * other.cols()` elements).
+    ///
+    /// Same tiled kernel as [`Matrix::matmul`]; performs no heap allocation
+    /// when `out` already has sufficient capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`. Use
+    /// [`Matrix::try_matmul_into`] for a fallible variant.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Vec<f32>) {
+        self.try_matmul_into(other, out)
+            .expect("matmul shape mismatch: inner dimensions must agree")
+    }
+
+    /// Fallible [`Matrix::matmul_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+    pub fn try_matmul_into(&self, other: &Matrix, out: &mut Vec<f32>) -> Result<(), TensorError> {
+        if self.cols != other.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        out.clear();
+        out.resize(self.rows * other.cols, 0.0);
+        gemm_nn(
+            &self.data,
+            &other.data,
+            self.rows,
+            self.cols,
+            other.cols,
+            out,
+        );
+        Ok(())
+    }
+
+    /// Batched matrix-vector product: applies `self * x` to `count` input
+    /// vectors stored back to back in `xs` (each of length `cols`), writing
+    /// the `count` output vectors (each of length `rows`) back to back into
+    /// `out`.
+    ///
+    /// Bit-identical to calling [`Matrix::matvec_into`] once per input vector
+    /// — every output element accumulates its products through a single
+    /// ascending-column chain — but streams the weight matrix through the
+    /// cache once per register tile of inputs instead of once per vector, and
+    /// transposes weight panels into `pack` so the inner loop reads
+    /// unit-stride memory. This is the GEMM behind chunk-batched prefill's
+    /// QKV/FFN projections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `xs.len() != count * cols`.
+    pub fn matvec_batch_into(
+        &self,
+        xs: &[f32],
+        count: usize,
+        out: &mut Vec<f32>,
+        pack: &mut Vec<f32>,
+    ) -> Result<(), TensorError> {
+        if xs.len() != count * self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_batch",
+                lhs: self.shape(),
+                rhs: (count, xs.len().checked_div(count).unwrap_or(0)),
+            });
+        }
+        out.clear();
+        if count == 1 {
+            // A single vector gains nothing from panel packing; use the plain
+            // dot-product reduction (identical bits, no packing traffic).
+            out.extend(
+                self.iter_rows()
+                    .map(|row| row.iter().zip(xs).map(|(a, b)| a * b).sum::<f32>()),
+            );
+            return Ok(());
+        }
+        let (rows, cols) = (self.rows, self.cols);
+        out.resize(count * rows, 0.0);
+        pack.clear();
+        pack.resize(cols * GEMM_NR, 0.0);
+        let mut r0 = 0;
+        while r0 < rows {
+            let nr = (rows - r0).min(GEMM_NR);
+            // Transpose the panel of `nr` weight rows into `pack`
+            // (`cols x nr`, padded to stride `GEMM_NR`) — pure data movement,
+            // no arithmetic, so bit-compatibility is untouched.
+            for (ri, wrow) in self.data[r0 * cols..(r0 + nr) * cols]
+                .chunks_exact(cols.max(1))
+                .enumerate()
+            {
+                for (kk, &w) in wrow.iter().enumerate() {
+                    pack[kk * GEMM_NR + ri] = w;
                 }
             }
+            let mut i0 = 0;
+            while i0 < count {
+                let mr = (count - i0).min(GEMM_MR);
+                gemm_tile(xs, pack, out, cols, GEMM_NR, rows, i0, 0, r0, mr, nr, cols);
+                i0 += mr;
+            }
+            r0 += nr;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Matrix-vector product `self * v`.
@@ -464,6 +652,111 @@ mod tests {
         let b = Matrix::zeros(2, 3);
         assert!(matches!(
             a.try_matmul(&b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    /// Deterministic pseudo-random matrix for kernel edge-case coverage.
+    fn lcg_matrix(rows: usize, cols: usize, seed: &mut u64) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for x in m.as_mut_slice() {
+            *seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Map the top bits to [-1, 1).
+            *x = ((*seed >> 40) as f32) / ((1u64 << 23) as f32) - 1.0;
+        }
+        m
+    }
+
+    /// Scalar reference with the same per-element ascending-`k` single-chain
+    /// accumulation the tiled kernel promises.
+    fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f32;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn tiled_matmul_is_bit_identical_to_scalar_reference() {
+        // Shapes chosen to exercise full tiles, ragged right/bottom edges and
+        // degenerate dimensions of the register-blocked kernel.
+        let shapes = [
+            (1, 1, 1),
+            (4, 8, 16),
+            (5, 3, 17),
+            (7, 13, 19),
+            (3, 1, 33),
+            (16, 16, 16),
+            (2, 5, 1),
+            (1, 7, 16),
+        ];
+        let mut seed = 0x5eed_cafe;
+        for (m, k, n) in shapes {
+            let a = lcg_matrix(m, k, &mut seed);
+            let b = lcg_matrix(k, n, &mut seed);
+            let tiled = a.matmul(&b);
+            let reference = matmul_reference(&a, &b);
+            assert_eq!(tiled, reference, "diverged at shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_into_known_values_and_shape_mismatch() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]);
+        let mut out = vec![99.0; 2];
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, vec![58.0, 64.0, 139.0, 154.0]);
+        assert_eq!(out, a.matmul(&b).into_vec(), "into variant matches matmul");
+        assert!(matches!(
+            a.try_matmul_into(&a, &mut out),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_batch_into_is_bit_identical_to_matvec_into() {
+        let mut seed = 0xbead_f00d;
+        // Odd row/column counts exercise ragged weight panels; counts cover
+        // the single-vector fast path and partial register tiles.
+        for (rows, cols) in [(1, 1), (19, 13), (16, 32), (33, 7)] {
+            let w = lcg_matrix(rows, cols, &mut seed);
+            for count in [1usize, 2, 4, 5, 9] {
+                let xs = lcg_matrix(count, cols, &mut seed);
+                let mut batched = Vec::new();
+                let mut pack = Vec::new();
+                w.matvec_batch_into(xs.as_slice(), count, &mut batched, &mut pack)
+                    .unwrap();
+                assert_eq!(batched.len(), count * rows);
+                let mut single = Vec::new();
+                for i in 0..count {
+                    w.matvec_into(xs.row(i), &mut single).unwrap();
+                    assert_eq!(
+                        &batched[i * rows..(i + 1) * rows],
+                        single.as_slice(),
+                        "diverged at {rows}x{cols}, count {count}, vector {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_batch_into_shape_mismatch_errors() {
+        let w = Matrix::zeros(3, 4);
+        let mut out = Vec::new();
+        let mut pack = Vec::new();
+        assert!(matches!(
+            w.matvec_batch_into(&[0.0; 7], 2, &mut out, &mut pack),
             Err(TensorError::ShapeMismatch { .. })
         ));
     }

@@ -152,6 +152,36 @@ pub fn layer_norm_into(x: &[f32], gain: &[f32], bias: &[f32], eps: f32, out: &mu
     );
 }
 
+/// [`layer_norm`] writing into a caller-provided slice of exactly the input's
+/// length — the variant chunk-batched prefill uses to normalise one row of a
+/// flat `chunk x d_model` buffer without touching a `Vec`.
+///
+/// The arithmetic (mean, biased variance, shared denominator, per-element
+/// affine) is exactly [`layer_norm`]'s, so the two produce bit-identical
+/// results.
+///
+/// # Panics
+///
+/// Panics if `gain`, `bias` or `out` length differs from `x`.
+pub fn layer_norm_slice(x: &[f32], gain: &[f32], bias: &[f32], eps: f32, out: &mut [f32]) {
+    assert_eq!(x.len(), gain.len(), "gain length must match input");
+    assert_eq!(x.len(), bias.len(), "bias length must match input");
+    assert_eq!(x.len(), out.len(), "output length must match input");
+    if x.is_empty() {
+        return;
+    }
+    let n = x.len() as f32;
+    let mean = x.iter().sum::<f32>() / n;
+    let var = x.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let denom = (var + eps).sqrt();
+    for (o, (&v, (&g, &b))) in out
+        .iter_mut()
+        .zip(x.iter().zip(gain.iter().zip(bias.iter())))
+    {
+        *o = g * (v - mean) / denom + b;
+    }
+}
+
 /// Row-wise softmax over a matrix of logits.
 pub fn softmax_rows(logits: &Matrix) -> Matrix {
     let mut out = Matrix::zeros(logits.rows(), logits.cols());
@@ -300,6 +330,17 @@ mod tests {
         assert_eq!(out, layer_norm(&x, &gain, &bias, 1e-5));
         layer_norm_into(&[], &[], &[], 1e-5, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn layer_norm_slice_is_bit_identical_to_layer_norm() {
+        let x = [1.0f32, -2.0, 3.5, 0.125];
+        let gain = [2.0f32, 1.0, 0.5, -1.0];
+        let bias = [0.1f32, 0.0, -0.5, 1.0];
+        let mut out = [99.0; 4];
+        layer_norm_slice(&x, &gain, &bias, 1e-5, &mut out);
+        assert_eq!(out.to_vec(), layer_norm(&x, &gain, &bias, 1e-5));
+        layer_norm_slice(&[], &[], &[], 1e-5, &mut []);
     }
 
     #[test]
