@@ -28,12 +28,15 @@
 //! streams verified identical), and running `prefill` writes
 //! `BENCH_prefill.json` (chunk-batched GEMM prompt pass vs the sequential
 //! token-at-a-time pass: prefill tokens/sec, TTFT and speedup per chunk size,
-//! token streams verified identical) to the working directory, so CI can
-//! archive the serving trajectories as machine-readable data.
+//! token streams verified identical), and running `network` writes
+//! `BENCH_network.json` (the `kf_serve` node driven over loopback sockets:
+//! burst/replay throughput, streamed TTFT, cache hit rate and coalescing with
+//! dedup off vs. on) to the working directory, so CI can archive the serving
+//! trajectories as machine-readable data.
 
 use keyformer_harness::report::Table;
 use keyformer_harness::{
-    hotpath, paging, parallel, prefill, prefix, quantization, serving, streaming,
+    hotpath, network, paging, parallel, prefill, prefix, quantization, serving, streaming,
 };
 use keyformer_harness::{run_experiment, ExperimentId};
 use serde::Serialize;
@@ -56,6 +59,8 @@ const QUANT_JSON: &str = "BENCH_quant.json";
 const HOTPATH_JSON: &str = "BENCH_hotpath.json";
 /// File the prefill experiment's machine-readable summary is written to.
 const PREFILL_JSON: &str = "BENCH_prefill.json";
+/// File the network experiment's machine-readable summary is written to.
+const NETWORK_JSON: &str = "BENCH_network.json";
 
 /// Writes an experiment's machine-readable summary, exiting loudly on failure —
 /// a missing or stale JSON data point must not leave a previous run's file
@@ -114,6 +119,11 @@ fn run_with_artifacts(id: ExperimentId, samples: usize) -> Table {
         ExperimentId::Prefill => {
             let (table, summaries) = prefill::prefill_report(samples);
             write_summary(PREFILL_JSON, &summaries);
+            table
+        }
+        ExperimentId::Network => {
+            let (table, summaries) = network::network_report(samples);
+            write_summary(NETWORK_JSON, &summaries);
             table
         }
         _ => run_experiment(id, samples),

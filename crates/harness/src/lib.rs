@@ -15,6 +15,7 @@
 pub mod accuracy;
 pub mod analysis;
 pub mod hotpath;
+pub mod network;
 pub mod paging;
 pub mod parallel;
 pub mod perf;

@@ -1,0 +1,362 @@
+//! Network front-end experiment: end-to-end throughput, time-to-first-token
+//! and deduplication behaviour of the `kf_serve` node, measured over real
+//! loopback sockets.
+//!
+//! Each configuration boots a node on an ephemeral port and drives a
+//! two-phase workload through the reference client:
+//!
+//! * **Phase 1 (burst)** — `distinct_prompts` different prompts, each
+//!   submitted by `repeats` concurrent connections. With dedup on, exactly
+//!   one fresh engine run completes per distinct prompt; every repeat either
+//!   coalesces onto the in-flight primary or hits the result cache. With
+//!   dedup off, every submission is a fresh run.
+//! * **Phase 2 (replay)** — after the burst drains, each distinct prompt is
+//!   resubmitted once: with dedup on these are pure cache hits (zero engine
+//!   steps), with dedup off they are fresh runs again.
+//!
+//! A final streamed request on a fresh prompt times TTFT over the wire. The
+//! sweep covers the full-attention baseline and the paper's Keyformer policy
+//! at 50% budget, each with dedup off and on. Token streams are verified
+//! identical across repeats, phases and dedup settings — deduplication is an
+//! observation-level optimisation and must never change a byte. Wall-clock
+//! fields (`wall_ms`, `ttft_ms`, `requests_per_sec`, `steps_per_sec`) vary
+//! run to run and are stripped by the CI identity check; everything else is
+//! deterministic.
+
+use crate::report::{fmt, Table};
+use keyformer_core::budget::CacheBudgetSpec;
+use keyformer_core::spec::PolicySpec;
+use keyformer_model::families::ModelFamily;
+use keyformer_serve::ServerConfig;
+use kf_serve::client::{str_field, tokens_field, u64_field, Client};
+use kf_serve::{serve, NodeConfig, ServeHandle};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Weight seed of the network experiment's model (distinct from the other
+/// benches so regressions cannot mask each other).
+const MODEL_SEED: u64 = 47;
+/// Prompt length of every measured request.
+const PROMPT_LEN: usize = 24;
+/// Tokens generated per request.
+const GEN_TOKENS: usize = 8;
+/// Distinct prompts in the phase-1 burst.
+const DISTINCT_PROMPTS: usize = 4;
+
+/// Machine-readable summary of one (policy, dedup) configuration, emitted as
+/// `BENCH_network.json` by `kf_experiments`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSummary {
+    /// Configuration label (policy / dedup setting).
+    pub config: String,
+    /// Cache policy every session ran.
+    pub policy: String,
+    /// Whether the result cache and coalescing were enabled.
+    pub dedup: bool,
+    /// Distinct prompts in the phase-1 burst.
+    pub distinct_prompts: usize,
+    /// Concurrent submissions per distinct prompt in phase 1.
+    pub repeats: usize,
+    /// Prompt tokens per request.
+    pub prompt_len: usize,
+    /// Tokens generated per request.
+    pub gen_tokens: usize,
+    /// Total wire submissions (burst + replay + the TTFT probe).
+    pub submitted: u64,
+    /// Jobs that consumed a fresh engine run.
+    pub completed: u64,
+    /// Jobs answered without a fresh engine run (cache hits + coalesced).
+    pub deduplicated: u64,
+    /// Result-cache hits in the phase-2 replay alone.
+    pub phase2_cache_hits: u64,
+    /// Jobs that failed (anything but zero is a bug).
+    pub failed: u64,
+    /// Whether every repeat, replay and dedup setting produced byte-identical
+    /// tokens for the same prompt. Anything but `true` is a correctness bug.
+    pub tokens_identical: bool,
+    /// Wall-clock milliseconds for the whole workload.
+    pub wall_ms: f64,
+    /// Time-to-first-token of the streamed probe, in milliseconds.
+    pub ttft_ms: f64,
+    /// Wire submissions answered per wall-clock second.
+    pub requests_per_sec: f64,
+    /// Engine scheduler steps per wall-clock second.
+    pub steps_per_sec: f64,
+}
+
+/// The deterministic prompt for burst slot `salt`.
+fn prompt(salt: u32) -> Vec<u32> {
+    (0..PROMPT_LEN)
+        .map(|t| (t as u32 * 13 + 7 + salt * 31) % 120)
+        .collect()
+}
+
+fn generate_body(prompt: &[u32], stream: bool) -> String {
+    let tokens: Vec<String> = prompt.iter().map(u32::to_string).collect();
+    let stream = if stream { ",\"stream\":true" } else { "" };
+    format!(
+        "{{\"prompt\":[{}],\"max_new_tokens\":{GEN_TOKENS}{stream}}}",
+        tokens.join(",")
+    )
+}
+
+/// Polls a job to a terminal state and returns its tokens.
+fn await_tokens(client: &Client, job: u64) -> Vec<u32> {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = client.job(job).expect("job poll");
+        assert_eq!(status, 200, "job {job} exists");
+        match str_field(&body, "state") {
+            Some("done") => return tokens_field(&body, "tokens").expect("done jobs have tokens"),
+            Some(terminal @ ("failed" | "cancelled")) => {
+                panic!("job {job} retired as {terminal}: {body:?}")
+            }
+            _ => {
+                assert!(Instant::now() < deadline, "job {job} never finished");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+fn counters(client: &Client) -> (u64, u64, u64, u64, u64, u64) {
+    let (_, stats) = client.stats().expect("stats");
+    let jobs = stats.field("jobs").expect("stats carry job counters");
+    let engine = stats
+        .field("engine")
+        .expect("stats carry the engine snapshot");
+    (
+        u64_field(jobs, "submitted").unwrap_or(0),
+        u64_field(jobs, "completed").unwrap_or(0),
+        u64_field(jobs, "cache_hits").unwrap_or(0),
+        u64_field(jobs, "coalesced").unwrap_or(0),
+        u64_field(jobs, "failed").unwrap_or(0),
+        u64_field(engine, "steps").unwrap_or(0),
+    )
+}
+
+struct ConfigRun {
+    summary: NetworkSummary,
+    /// Canonical tokens per distinct prompt, for cross-config identity.
+    canon: Vec<Vec<u32>>,
+}
+
+/// Boots a node for `(policy, budget, dedup)` and runs the two-phase workload.
+fn run_config(
+    label: &str,
+    policy: PolicySpec,
+    budget: Option<CacheBudgetSpec>,
+    dedup: bool,
+    repeats: usize,
+) -> ConfigRun {
+    let model = ModelFamily::Tiny.build(MODEL_SEED);
+    let bytes_per_token = model.empty_cache().bytes_per_token();
+    let pool_slots = (PROMPT_LEN + GEN_TOKENS) * (DISTINCT_PROMPTS + 2);
+    let engine = ServerConfig::new(policy, budget, pool_slots * bytes_per_token).with_block_size(4);
+    let handle: ServeHandle = serve(
+        "127.0.0.1:0",
+        NodeConfig::new(ModelFamily::Tiny, MODEL_SEED, engine).with_dedup(dedup),
+    )
+    .expect("node boots");
+    let client = handle.client();
+
+    let start = Instant::now();
+    // Phase 1: a concurrent burst of `repeats` copies of each distinct prompt.
+    let workers: Vec<std::thread::JoinHandle<(usize, Vec<u32>)>> = (0..DISTINCT_PROMPTS)
+        .flat_map(|k| (0..repeats).map(move |_| (k, generate_body(&prompt(k as u32), false))))
+        .map(|(k, body)| {
+            std::thread::spawn(move || {
+                let (status, accepted) = client.generate(&body).expect("generate");
+                assert!(
+                    status == 200 || status == 202,
+                    "burst submission rejected with {status}: {accepted:?}"
+                );
+                let job = u64_field(&accepted, "job_id").expect("job id");
+                (k, await_tokens(&client, job))
+            })
+        })
+        .collect();
+    let mut canon: Vec<Option<Vec<u32>>> = vec![None; DISTINCT_PROMPTS];
+    let mut tokens_identical = true;
+    for worker in workers {
+        let (k, tokens) = worker.join().expect("burst worker");
+        match &canon[k] {
+            None => canon[k] = Some(tokens),
+            Some(reference) => tokens_identical &= reference == &tokens,
+        }
+    }
+    let (_, _, cache_hits_p1, _, _, _) = counters(&client);
+
+    // Phase 2: replay each distinct prompt once — pure cache hits with dedup on.
+    for (k, reference) in canon.iter().enumerate() {
+        let (status, accepted) = client
+            .generate(&generate_body(&prompt(k as u32), false))
+            .expect("replay");
+        assert!(status == 200 || status == 202);
+        let job = u64_field(&accepted, "job_id").expect("job id");
+        let tokens = await_tokens(&client, job);
+        tokens_identical &= reference.as_deref() == Some(tokens.as_slice());
+    }
+    let (_, _, cache_hits_p2, _, _, _) = counters(&client);
+
+    // TTFT probe: a fresh prompt, streamed over the wire.
+    let probe = client
+        .generate_stream(&generate_body(&prompt(DISTINCT_PROMPTS as u32), true))
+        .expect("streamed probe");
+    assert_eq!(probe.terminal, "done", "the probe must complete");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let (submitted, completed, cache_hits, coalesced, failed, steps) = counters(&client);
+    handle.shutdown();
+    let wall_secs = (wall_ms / 1e3).max(f64::EPSILON);
+    ConfigRun {
+        summary: NetworkSummary {
+            config: format!("{label}/dedup={}", if dedup { "on" } else { "off" }),
+            policy: label.to_string(),
+            dedup,
+            distinct_prompts: DISTINCT_PROMPTS,
+            repeats,
+            prompt_len: PROMPT_LEN,
+            gen_tokens: GEN_TOKENS,
+            submitted,
+            completed,
+            deduplicated: cache_hits + coalesced,
+            phase2_cache_hits: cache_hits_p2 - cache_hits_p1,
+            failed,
+            tokens_identical,
+            wall_ms,
+            ttft_ms: probe.ttft.map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0),
+            requests_per_sec: submitted as f64 / wall_secs,
+            steps_per_sec: steps as f64 / wall_secs,
+        },
+        canon: canon.into_iter().map(Option::unwrap).collect(),
+    }
+}
+
+/// Runs the sweep: policy × dedup, verifying token identity across dedup
+/// settings within each policy.
+fn network_grid(repeats: usize) -> (Table, Vec<NetworkSummary>) {
+    let budget = CacheBudgetSpec::with_fraction(0.5).expect("valid fraction");
+    let policies: Vec<(&str, PolicySpec, Option<CacheBudgetSpec>)> = vec![
+        ("Full", PolicySpec::Full, None),
+        (
+            "Keyformer@50%",
+            PolicySpec::keyformer_default(),
+            Some(budget),
+        ),
+    ];
+    let mut table = Table::new(
+        format!(
+            "kf_serve network front-end over loopback sockets: {DISTINCT_PROMPTS} distinct \
+             prompts x {repeats} concurrent repeats, then a cache replay and a streamed \
+             TTFT probe (prompt {PROMPT_LEN}, {GEN_TOKENS} generated tokens; token \
+             streams verified identical across repeats, phases and dedup settings)"
+        ),
+        &[
+            "config",
+            "submitted",
+            "fresh runs",
+            "deduped",
+            "replay hits",
+            "identical",
+            "req/s",
+            "ttft_ms",
+        ],
+    );
+    let mut summaries = Vec::new();
+    for (label, policy, budget) in policies {
+        let baseline = run_config(label, policy, budget, false, repeats);
+        let mut deduped = run_config(label, policy, budget, true, repeats);
+        // Dedup must not change a byte relative to the dedup-off baseline.
+        deduped.summary.tokens_identical &= baseline.canon == deduped.canon;
+        for run in [baseline, deduped] {
+            let s = &run.summary;
+            table.push_row(vec![
+                s.config.clone(),
+                s.submitted.to_string(),
+                s.completed.to_string(),
+                s.deduplicated.to_string(),
+                s.phase2_cache_hits.to_string(),
+                s.tokens_identical.to_string(),
+                fmt(s.requests_per_sec),
+                fmt(s.ttft_ms),
+            ]);
+            summaries.push(run.summary);
+        }
+    }
+    (table, summaries)
+}
+
+/// Runs the network sweep and returns both the rendered table and the
+/// per-configuration summaries.
+///
+/// `samples` scales the concurrent repeats per distinct prompt.
+pub fn network_report(samples: usize) -> (Table, Vec<NetworkSummary>) {
+    network_grid(samples.max(2))
+}
+
+/// Table-only entry point used by the experiment registry.
+pub fn network(samples: usize) -> Table {
+    network_report(samples).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_counts_are_deterministic_and_tokens_identical() {
+        let repeats = 2;
+        let (table, summaries) = network_grid(repeats);
+        assert_eq!(summaries.len(), 4, "two policies x dedup off/on");
+        assert_eq!(table.rows.len(), summaries.len());
+        let burst = (DISTINCT_PROMPTS * repeats) as u64;
+        let replay = DISTINCT_PROMPTS as u64;
+        for s in &summaries {
+            assert_eq!(s.submitted, burst + replay + 1, "{}", s.config);
+            assert_eq!(s.failed, 0, "{}", s.config);
+            assert!(s.tokens_identical, "{} diverged", s.config);
+            assert!(s.ttft_ms > 0.0, "{}: probe was not timed", s.config);
+            if s.dedup {
+                assert_eq!(
+                    s.completed,
+                    replay + 1,
+                    "{}: one fresh run per distinct prompt plus the probe",
+                    s.config
+                );
+                assert_eq!(s.deduplicated, burst - replay + replay, "{}", s.config);
+                assert_eq!(s.phase2_cache_hits, replay, "{}", s.config);
+            } else {
+                assert_eq!(s.completed, s.submitted, "{}: every request ran", s.config);
+                assert_eq!(s.deduplicated, 0, "{}", s.config);
+                assert_eq!(s.phase2_cache_hits, 0, "{}", s.config);
+            }
+        }
+    }
+
+    #[test]
+    fn summaries_serialize_round_trip() {
+        let summaries = vec![NetworkSummary {
+            config: "Full/dedup=on".into(),
+            policy: "Full".into(),
+            dedup: true,
+            distinct_prompts: 4,
+            repeats: 2,
+            prompt_len: 24,
+            gen_tokens: 8,
+            submitted: 13,
+            completed: 5,
+            deduplicated: 8,
+            phase2_cache_hits: 4,
+            failed: 0,
+            tokens_identical: true,
+            wall_ms: 120.0,
+            ttft_ms: 2.5,
+            requests_per_sec: 108.3,
+            steps_per_sec: 900.0,
+        }];
+        let json = serde_json::to_string(&summaries).expect("serializes");
+        let back: Vec<NetworkSummary> = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, summaries);
+    }
+}

@@ -3,8 +3,8 @@
 
 use crate::report::Table;
 use crate::{
-    accuracy, analysis, hotpath, paging, parallel, perf, prefill, prefix, quantization, serving,
-    streaming,
+    accuracy, analysis, hotpath, network, paging, parallel, perf, prefill, prefix, quantization,
+    serving, streaming,
 };
 use serde::{Deserialize, Serialize};
 
@@ -80,6 +80,11 @@ pub enum ExperimentId {
     /// token-at-a-time pass (prefill tokens/sec, TTFT and speedup per chunk
     /// size, token streams verified identical) (not a paper artefact).
     Prefill,
+    /// Network front-end: the `kf_serve` node driven over loopback sockets —
+    /// burst/replay throughput, streamed TTFT, cache hit rate and coalescing
+    /// with dedup off vs. on, token streams verified identical across repeats,
+    /// phases and dedup settings (not a paper artefact).
+    Network,
 }
 
 impl ExperimentId {
@@ -113,6 +118,7 @@ impl ExperimentId {
             Quantization,
             Hotpath,
             Prefill,
+            Network,
         ]
     }
 
@@ -146,6 +152,7 @@ impl ExperimentId {
             "quantization" => Quantization,
             "hotpath" => Hotpath,
             "prefill" => Prefill,
+            "network" => Network,
             _ => return None,
         })
     }
@@ -180,6 +187,7 @@ impl ExperimentId {
             Quantization => "quantization",
             Hotpath => "hotpath",
             Prefill => "prefill",
+            Network => "network",
         }
     }
 }
@@ -222,6 +230,7 @@ pub fn run_experiment(id: ExperimentId, samples: usize) -> Table {
         ExperimentId::Quantization => quantization::quantization(samples),
         ExperimentId::Hotpath => hotpath::hotpath(samples),
         ExperimentId::Prefill => prefill::prefill(samples),
+        ExperimentId::Network => network::network(samples),
     }
 }
 
@@ -242,9 +251,9 @@ mod tests {
     #[test]
     fn all_lists_every_experiment() {
         // 18 paper artefacts + the serving-throughput, paging, prefix-sharing,
-        // streaming-latency, parallel-scaling, quantization, hotpath and
-        // prefill experiments.
-        assert_eq!(ExperimentId::all().len(), 26);
+        // streaming-latency, parallel-scaling, quantization, hotpath, prefill
+        // and network experiments.
+        assert_eq!(ExperimentId::all().len(), 27);
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! Loopback integration tests: a real `kf_serve` node on an ephemeral port,
+//! talked to over real sockets by the reference client.
+//!
+//! The three acceptance properties of the network front-end:
+//!
+//! 1. **Wire/engine identity** — a streamed generate returns exactly the
+//!    tokens a directly-driven [`Engine`] produces for the same request.
+//! 2. **Idempotence** — a repeated deterministic request is answered from the
+//!    result cache byte-identically, with *zero* additional engine steps; a
+//!    concurrent duplicate coalesces onto the in-flight primary and receives
+//!    the identical tokens. Sampled requests bypass both mechanisms.
+//! 3. **Cancellation hygiene** — a wire cancellation retires the job and
+//!    drains the engine pool back to zero blocks in use or reserved.
+
+use keyformer_core::budget::CacheBudgetSpec;
+use keyformer_core::spec::PolicySpec;
+use keyformer_model::families::ModelFamily;
+use keyformer_model::generation::GenerationConfig;
+use keyformer_serve::{Engine, Request, ServerConfig, SubmitOptions};
+use kf_serve::client::{str_field, tokens_field, u64_field};
+use kf_serve::{serve, NodeConfig, ServeHandle};
+use serde::Value;
+use std::time::{Duration, Instant};
+
+const MODEL_SEED: u64 = 31;
+
+fn prompt(len: usize, salt: u32) -> Vec<u32> {
+    (0..len)
+        .map(|t| (t as u32 * 13 + 7 + salt * 31) % 120)
+        .collect()
+}
+
+fn pool_config(slots: usize) -> ServerConfig {
+    let model = ModelFamily::Tiny.build(MODEL_SEED);
+    let bytes_per_token = model.empty_cache().bytes_per_token();
+    ServerConfig::new(
+        PolicySpec::keyformer_default(),
+        Some(CacheBudgetSpec::with_fraction(0.5).unwrap()),
+        slots * bytes_per_token,
+    )
+    .with_block_size(4)
+}
+
+fn boot(engine: ServerConfig, dedup: bool) -> ServeHandle {
+    serve(
+        "127.0.0.1:0",
+        NodeConfig::new(ModelFamily::Tiny, MODEL_SEED, engine).with_dedup(dedup),
+    )
+    .expect("node boots")
+}
+
+/// Runs the same request on a directly-driven engine, mirroring the server's
+/// default resolution (explicit policy/budget/dtype), and returns its tokens.
+fn direct_engine_tokens(engine_config: ServerConfig, prompt: &[u32], gen: usize) -> Vec<u32> {
+    let model = ModelFamily::Tiny.build(MODEL_SEED);
+    let mut engine = Engine::new(&model, engine_config).unwrap();
+    let mut request = Request::new(1, prompt.to_vec(), GenerationConfig::new(gen))
+        .with_policy(engine_config.policy);
+    request = match engine_config.budget {
+        Some(budget) => request.with_budget(budget),
+        None => request.with_unbudgeted(),
+    };
+    let options = SubmitOptions::new().with_kv_dtype(engine_config.kv_dtype);
+    engine.submit_with(request, options).unwrap();
+    engine.run(100_000);
+    assert!(engine.is_idle(), "direct engine drained");
+    assert_eq!(engine.completions().len(), 1);
+    engine.completions()[0].output.generated.clone()
+}
+
+fn generate_body(prompt: &[u32], gen: usize, extra: &str) -> String {
+    let tokens: Vec<String> = prompt.iter().map(u32::to_string).collect();
+    format!(
+        "{{\"prompt\":[{}],\"max_new_tokens\":{gen}{extra}}}",
+        tokens.join(",")
+    )
+}
+
+/// Polls `GET /v1/jobs/{id}` until the job reaches a terminal state.
+fn await_terminal(handle: &ServeHandle, job: u64) -> Value {
+    let client = handle.client();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = client.job(job).expect("job poll");
+        assert_eq!(status, 200, "job {job} should exist");
+        match str_field(&body, "state") {
+            Some("done") | Some("failed") | Some("cancelled") => return body,
+            _ => {
+                assert!(Instant::now() < deadline, "job {job} never became terminal");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+fn engine_field(stats: &Value, field: &str) -> u64 {
+    u64_field(stats.field("engine").unwrap(), field)
+        .unwrap_or_else(|| panic!("engine.{field} missing from stats"))
+}
+
+fn pool_field(stats: &Value, field: &str) -> u64 {
+    u64_field(stats.field("engine").unwrap().field("pool").unwrap(), field)
+        .unwrap_or_else(|| panic!("engine.pool.{field} missing from stats"))
+}
+
+#[test]
+fn streamed_generate_matches_direct_engine() {
+    let engine_config = pool_config(160);
+    let handle = boot(engine_config, true);
+    let client = handle.client();
+    let p = prompt(24, 1);
+
+    let outcome = client
+        .generate_stream(&generate_body(&p, 6, ",\"stream\":true"))
+        .expect("streamed generate");
+    assert_eq!(outcome.terminal, "done", "stream ends with a done event");
+    assert!(outcome.job_id.is_some(), "preamble announces the job id");
+    assert!(!outcome.deduplicated, "first run is fresh");
+    assert!(outcome.ttft.is_some(), "a token event was timed");
+
+    let direct = direct_engine_tokens(engine_config, &p, 6);
+    assert_eq!(
+        outcome.tokens, direct,
+        "streamed tokens must be identical to a directly-driven engine"
+    );
+
+    // The polled record agrees with the stream.
+    let record = await_terminal(&handle, outcome.job_id.unwrap());
+    assert_eq!(tokens_field(&record, "tokens").unwrap(), direct);
+    handle.shutdown();
+}
+
+#[test]
+fn repeat_request_is_served_from_cache_with_zero_engine_steps() {
+    let engine_config = pool_config(160);
+    let handle = boot(engine_config, true);
+    let client = handle.client();
+    let p = prompt(22, 2);
+    let body = generate_body(&p, 5, "");
+
+    let (status, first) = client.generate(&body).expect("first generate");
+    assert_eq!(status, 202, "a fresh request is accepted, not answered");
+    let first_job = u64_field(&first, "job_id").unwrap();
+    let first_record = await_terminal(&handle, first_job);
+    let first_tokens = tokens_field(&first_record, "tokens").unwrap();
+    assert_eq!(first_tokens, direct_engine_tokens(engine_config, &p, 5));
+
+    // The engine is now idle; its step counter must not advance for a repeat.
+    let (_, stats_before) = client.stats().expect("stats");
+    let steps_before = engine_field(&stats_before, "steps");
+
+    let (status, repeat) = client.generate(&body).expect("repeat generate");
+    assert_eq!(status, 200, "a cached repeat is answered immediately");
+    assert_eq!(str_field(&repeat, "state"), Some("done"));
+    assert_eq!(repeat.field("deduplicated").unwrap(), &Value::Bool(true));
+    let repeat_tokens = tokens_field(&repeat, "tokens").unwrap();
+    assert_eq!(
+        repeat_tokens, first_tokens,
+        "cached bytes must be identical to the original result"
+    );
+
+    let (_, stats_after) = client.stats().expect("stats");
+    assert_eq!(
+        engine_field(&stats_after, "steps"),
+        steps_before,
+        "a cache hit must cost zero engine steps"
+    );
+    assert_eq!(
+        u64_field(stats_after.field("jobs").unwrap(), "cache_hits"),
+        Some(1)
+    );
+
+    // The repeat's own record is pollable and byte-identical too.
+    let repeat_record = await_terminal(&handle, u64_field(&repeat, "job_id").unwrap());
+    assert_eq!(
+        tokens_field(&repeat_record, "tokens").unwrap(),
+        first_tokens
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_duplicate_coalesces_onto_the_primary() {
+    let engine_config = pool_config(1200);
+    let handle = boot(engine_config, true);
+    let client = handle.client();
+    let p = prompt(20, 3);
+    // A long decode keeps the primary in flight while the duplicate arrives.
+    let body = generate_body(&p, 400, "");
+
+    let (status, first) = client.generate(&body).expect("first generate");
+    assert_eq!(status, 202);
+    let first_job = u64_field(&first, "job_id").unwrap();
+
+    let (status, twin) = client.generate(&body).expect("duplicate generate");
+    assert_eq!(status, 202);
+    let twin_job = u64_field(&twin, "job_id").unwrap();
+    assert_eq!(
+        u64_field(&twin, "coalesced_into"),
+        Some(first_job),
+        "the duplicate must ride on the in-flight primary"
+    );
+
+    let first_record = await_terminal(&handle, first_job);
+    let twin_record = await_terminal(&handle, twin_job);
+    assert_eq!(str_field(&first_record, "state"), Some("done"));
+    assert_eq!(str_field(&twin_record, "state"), Some("done"));
+    let first_tokens = tokens_field(&first_record, "tokens").unwrap();
+    assert_eq!(
+        tokens_field(&twin_record, "tokens").unwrap(),
+        first_tokens,
+        "coalesced results must be byte-identical"
+    );
+    assert_eq!(first_tokens.len(), 400, "the primary ran to its budget");
+
+    let (_, stats) = client.stats().expect("stats");
+    let jobs = stats.field("jobs").unwrap();
+    assert_eq!(u64_field(jobs, "coalesced"), Some(1));
+    assert_eq!(
+        u64_field(jobs, "completed"),
+        Some(1),
+        "only the primary consumed the engine"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn sampled_requests_bypass_cache_and_coalescing() {
+    let engine_config = pool_config(160);
+    let handle = boot(engine_config, true);
+    let client = handle.client();
+    let p = prompt(20, 4);
+    let body = generate_body(&p, 4, ",\"top_k\":8,\"temperature\":1.5,\"seed\":9");
+
+    let (_, first) = client.generate(&body).expect("first sampled generate");
+    await_terminal(&handle, u64_field(&first, "job_id").unwrap());
+    let (status, repeat) = client.generate(&body).expect("repeat sampled generate");
+    assert_eq!(
+        status, 202,
+        "sampled repeats are fresh runs, never cache hits"
+    );
+    assert_eq!(u64_field(&repeat, "coalesced_into"), None);
+    await_terminal(&handle, u64_field(&repeat, "job_id").unwrap());
+
+    let (_, stats) = client.stats().expect("stats");
+    let jobs = stats.field("jobs").unwrap();
+    assert_eq!(u64_field(jobs, "cache_hits"), Some(0));
+    assert_eq!(u64_field(jobs, "coalesced"), Some(0));
+    assert_eq!(u64_field(jobs, "completed"), Some(2));
+    handle.shutdown();
+}
+
+#[test]
+fn wire_cancellation_drains_the_pool() {
+    let engine_config = pool_config(4000);
+    let handle = boot(engine_config, true);
+    let client = handle.client();
+    // A decode far too long to finish before the cancel lands.
+    let body = generate_body(&prompt(20, 5), 100_000, "");
+
+    let (status, accepted) = client.generate(&body).expect("generate");
+    assert_eq!(status, 202);
+    let job = u64_field(&accepted, "job_id").unwrap();
+
+    let (status, cancel) = client.cancel(job).expect("cancel");
+    assert_eq!(status, 202);
+    assert_eq!(cancel.field("cancelling").unwrap(), &Value::Bool(true));
+
+    let record = await_terminal(&handle, job);
+    assert_eq!(str_field(&record, "state"), Some("cancelled"));
+
+    // Once the engine settles, every block is back in the pool.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, stats) = client.stats().expect("stats");
+        let drained = engine_field(&stats, "queued") == 0
+            && engine_field(&stats, "running") == 0
+            && pool_field(&stats, "in_use") == 0
+            && pool_field(&stats, "reserved") == 0;
+        if drained {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "pool never drained after cancellation: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn dedup_off_runs_every_request() {
+    let engine_config = pool_config(160);
+    let handle = boot(engine_config, false);
+    let client = handle.client();
+    let body = generate_body(&prompt(20, 6), 4, "");
+
+    let (_, first) = client.generate(&body).expect("first generate");
+    await_terminal(&handle, u64_field(&first, "job_id").unwrap());
+    let (status, repeat) = client.generate(&body).expect("repeat generate");
+    assert_eq!(status, 202, "with dedup off a repeat is a fresh run");
+    await_terminal(&handle, u64_field(&repeat, "job_id").unwrap());
+
+    let (_, stats) = client.stats().expect("stats");
+    let jobs = stats.field("jobs").unwrap();
+    assert_eq!(u64_field(jobs, "cache_hits"), Some(0));
+    assert_eq!(u64_field(jobs, "completed"), Some(2));
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_and_unknown_requests_answer_structured_errors() {
+    let handle = boot(pool_config(160), true);
+    let client = handle.client();
+
+    let (status, body) = client.generate("{\"prompt\":[]}").expect("empty prompt");
+    assert_eq!(status, 400);
+    assert_eq!(str_field(&body, "error"), Some("invalid_request"));
+
+    let (status, body) = client.generate("not json at all").expect("non-JSON body");
+    assert_eq!(status, 400);
+    assert_eq!(str_field(&body, "error"), Some("invalid_json"));
+
+    let (status, body) = client
+        .generate("{\"prompt\":[1,2],\"policy\":\"quantum\"}")
+        .expect("unknown policy");
+    assert_eq!(status, 400);
+    assert_eq!(str_field(&body, "error"), Some("invalid_request"));
+
+    let (status, body) = client.job(999).expect("unknown job");
+    assert_eq!(status, 404);
+    assert_eq!(str_field(&body, "error"), Some("not_found"));
+
+    let (status, _) = client.cancel(999).expect("unknown cancel");
+    assert_eq!(status, 404);
+    handle.shutdown();
+}
+
+#[test]
+fn ndjson_fallback_session_supports_all_ops() {
+    let engine_config = pool_config(160);
+    let handle = boot(engine_config, true);
+    let client = handle.client();
+    let p = prompt(20, 7);
+    let tokens: Vec<String> = p.iter().map(u32::to_string).collect();
+
+    let responses = client
+        .ndjson_session(&[
+            format!(
+                "{{\"op\":\"generate\",\"prompt\":[{}],\"max_new_tokens\":4,\"stream\":true}}",
+                tokens.join(",")
+            ),
+            "{\"op\":\"stats\"}".to_string(),
+            "{\"op\":\"status\",\"job_id\":1}".to_string(),
+            "{\"op\":\"nonsense\"}".to_string(),
+        ])
+        .expect("ndjson session");
+
+    // Streamed generate: accepted + 4 tokens + done, then the other replies.
+    assert_eq!(str_field(&responses[0], "event"), Some("accepted"));
+    let token_events: Vec<&Value> = responses
+        .iter()
+        .filter(|r| str_field(r, "event") == Some("token"))
+        .collect();
+    assert_eq!(token_events.len(), 4);
+    assert!(responses
+        .iter()
+        .any(|r| str_field(r, "event") == Some("done")));
+    let streamed: Vec<u32> = token_events
+        .iter()
+        .map(|e| u64_field(e, "token").unwrap() as u32)
+        .collect();
+    assert_eq!(streamed, direct_engine_tokens(engine_config, &p, 4));
+
+    let stats = responses
+        .iter()
+        .find(|r| r.field("jobs").map(|j| j != &Value::Null).unwrap_or(false))
+        .expect("a stats reply");
+    assert_eq!(
+        u64_field(stats.field("jobs").unwrap(), "submitted"),
+        Some(1)
+    );
+    assert!(responses
+        .iter()
+        .any(|r| str_field(r, "state") == Some("done")));
+    assert!(responses
+        .iter()
+        .any(|r| str_field(r, "error") == Some("invalid_request")));
+    handle.shutdown();
+}

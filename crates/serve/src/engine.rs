@@ -226,6 +226,15 @@ pub struct ServerConfig {
     /// submission ([`SubmitOptions::with_kv_dtype`]) towards *smaller* bytes
     /// per value only.
     pub kv_dtype: KvDtype,
+    /// When `true`, a queued arrival whose block reservation does not fit may
+    /// immediately preempt running sessions of *strictly lower* submitted
+    /// priority (youngest lowest-priority first, the same victim order as
+    /// starved-prefill preemption) instead of waiting for them to retire.
+    /// Preempted work is re-queued at the head of the queue and recomputed
+    /// token-identically on re-admission, exactly like pressure preemption.
+    /// Defaults to `false`, which preserves the wait-for-retirement behaviour
+    /// (and the event streams of every existing configuration) bit for bit.
+    pub preempt_on_arrival: bool,
 }
 
 impl ServerConfig {
@@ -246,7 +255,15 @@ impl ServerConfig {
             admission_order: AdmissionOrder::Fifo,
             decode_workers: 1,
             kv_dtype: KvDtype::F32,
+            preempt_on_arrival: false,
         }
+    }
+
+    /// Lets high-priority arrivals preempt lower-priority running sessions;
+    /// see [`ServerConfig::preempt_on_arrival`].
+    pub fn with_preempt_on_arrival(mut self, enabled: bool) -> Self {
+        self.preempt_on_arrival = enabled;
+        self
     }
 
     /// Sets the sealed-block storage precision; see [`ServerConfig::kv_dtype`].
@@ -1364,20 +1381,43 @@ impl<'m> Engine<'m> {
             .max_by_key(|&(i, r)| (Reverse(r.options.priority), r.admitted_step, i))
             .map(|(i, _)| i);
         if let Some(idx) = victim_idx {
-            let victim = self.running.remove(idx);
-            self.pool.unreserve(victim.reserved_blocks);
-            self.emit(victim.id(), EventKind::Preempted);
-            // Dropping the session releases its private blocks (and its own
-            // refs on shared ones).
-            self.queue.push_front(Pending {
-                submitted_step: victim.submitted_step,
-                options: victim.options,
-                preempted: true,
-                token_steps: victim.token_steps,
-                request: victim.request,
-            });
-            self.stats.preemptions += 1;
+            self.preempt_running(idx);
         }
+    }
+
+    /// Swaps the running session at `idx` out: emits
+    /// [`EventKind::Preempted`], returns its reservation to the pool, and
+    /// re-queues the request at the head of the queue (flagged `preempted`, so
+    /// re-admission emits [`EventKind::Resumed`] and replays of
+    /// already-surfaced tokens are suppressed). Dropping the session releases
+    /// its private blocks — and its own refs on shared ones.
+    fn preempt_running(&mut self, idx: usize) {
+        let victim = self.running.remove(idx);
+        self.pool.unreserve(victim.reserved_blocks);
+        self.emit(victim.id(), EventKind::Preempted);
+        self.queue.push_front(Pending {
+            submitted_step: victim.submitted_step,
+            options: victim.options,
+            preempted: true,
+            token_steps: victim.token_steps,
+            request: victim.request,
+        });
+        self.stats.preemptions += 1;
+    }
+
+    /// The youngest running session of the lowest priority *strictly below*
+    /// `priority` — the victim an arriving request may preempt when
+    /// [`ServerConfig::preempt_on_arrival`] is on. Strictness is what rules
+    /// out livelock between equal-priority requests: an arrival can never
+    /// evict a peer, so two same-priority requests cannot take turns swapping
+    /// each other out.
+    fn arrival_victim(&self, priority: u8) -> Option<usize> {
+        self.running
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.options.priority < priority)
+            .max_by_key(|&(i, r)| (Reverse(r.options.priority), r.admitted_step, i))
+            .map(|(i, _)| i)
     }
 
     /// Effective priority of a queued request: its submitted priority plus one
@@ -1445,7 +1485,7 @@ impl<'m> Engine<'m> {
                 // decoding sessions always retire eventually.
                 break;
             }
-            let Some(candidate) = self.admission_candidate() else {
+            let Some(mut candidate) = self.admission_candidate() else {
                 break;
             };
             let reserved = self.admission_reservation(&self.queue[candidate].request);
@@ -1480,6 +1520,24 @@ impl<'m> Engine<'m> {
                         if !registry.evict_lru() {
                             break;
                         }
+                        if self.pool.try_reserve(reserved) {
+                            fits = true;
+                            break;
+                        }
+                    }
+                }
+                if !fits && self.config.preempt_on_arrival {
+                    // Arrival preemption: swap out strictly-lower-priority
+                    // running sessions (youngest lowest first) until the
+                    // arrival's reservation fits or no eligible victim is
+                    // left. Victims re-queue at the head of the queue and
+                    // recompute token-identically on re-admission.
+                    let arriving = self.queue[candidate].options.priority;
+                    while let Some(idx) = self.arrival_victim(arriving) {
+                        self.preempt_running(idx);
+                        // The victim's push_front shifted every queued index —
+                        // the candidate's included — up by one.
+                        candidate += 1;
                         if self.pool.try_reserve(reserved) {
                             fits = true;
                             break;

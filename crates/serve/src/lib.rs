@@ -70,6 +70,7 @@ pub use engine::{
     SPF_AGING_TOKENS_PER_STEP,
 };
 pub use request::{
-    Completion, FailedRequest, FailureReason, Request, RequestId, RequestOverrides, SubmitOptions,
+    submit_rejection, Completion, FailedRequest, FailureReason, Request, RequestId,
+    RequestOverrides, SubmitOptions, WireCode,
 };
 pub use server::Server;

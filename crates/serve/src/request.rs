@@ -303,6 +303,82 @@ pub enum FailureReason {
     },
 }
 
+/// Stable wire-level classification of a failure or rejection: a
+/// machine-readable code plus the HTTP status a network front-end (such as the
+/// `kf-serve` binary) maps it to. The `code` strings are a compatibility
+/// surface — clients match on them, so they are never renamed, only added to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct WireCode {
+    /// Stable machine-readable identifier (snake_case).
+    pub code: &'static str,
+    /// HTTP status a wire front-end responds with for this class.
+    pub status: u16,
+}
+
+impl std::fmt::Display for WireCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.code, self.status)
+    }
+}
+
+/// Classifies a *submit-time* rejection — [`crate::Engine::submit_with`] or
+/// [`crate::Server::submit`] returning `Err` — into a stable [`WireCode`], so
+/// a front-end can answer 4xx/5xx without string-matching error text.
+///
+/// Validation failures (a policy that does not build, contradictory overrides,
+/// a widening dtype override) are the caller's fault (`400`); an exhausted
+/// pool is a capacity condition worth retrying (`503`); a block-bookkeeping
+/// error is an internal bug (`500`).
+pub fn submit_rejection(error: &CoreError) -> WireCode {
+    match error {
+        CoreError::InvalidConfig(_) | CoreError::InvalidSelection(_) => WireCode {
+            code: "invalid_request",
+            status: 400,
+        },
+        CoreError::PoolExhausted { .. } => WireCode {
+            code: "pool_exhausted",
+            status: 503,
+        },
+        CoreError::InvalidBlock { .. } => WireCode {
+            code: "internal",
+            status: 500,
+        },
+    }
+}
+
+impl FailureReason {
+    /// Stable machine-readable code for this failure (see [`WireCode::code`]).
+    pub fn code(&self) -> &'static str {
+        match self {
+            FailureReason::TooLargeForPool { .. } => "too_large_for_pool",
+            FailureReason::Engine(_) => "engine_error",
+            FailureReason::Cancelled => "cancelled",
+            FailureReason::DeadlineExceeded { .. } => "deadline_exceeded",
+        }
+    }
+
+    /// HTTP status a wire front-end maps this failure to: `507` (insufficient
+    /// storage) for a request that can never fit the pool, `500` for engine
+    /// errors, `499` (the de-facto client-closed-request status) for
+    /// cancellations, `504` for deadline expiry.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            FailureReason::TooLargeForPool { .. } => 507,
+            FailureReason::Engine(_) => 500,
+            FailureReason::Cancelled => 499,
+            FailureReason::DeadlineExceeded { .. } => 504,
+        }
+    }
+
+    /// Code and status together, for handing straight to a response writer.
+    pub fn wire(&self) -> WireCode {
+        WireCode {
+            code: self.code(),
+            status: self.http_status(),
+        }
+    }
+}
+
 impl std::fmt::Display for FailureReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -452,6 +528,75 @@ mod tests {
         // The builders keep the pair consistent in either order.
         let rebudgeted = unbudgeted.with_budget(CacheBudgetSpec::new(0.5, 0.3).unwrap());
         assert!(rebudgeted.overrides.validate().is_ok());
+    }
+
+    #[test]
+    fn failure_wire_codes_are_stable() {
+        // These pairs are a wire compatibility surface: clients match on the
+        // code strings, so changing any of them is a breaking API change.
+        let cases = [
+            (
+                FailureReason::TooLargeForPool {
+                    projected_bytes: 10,
+                    pool_bytes: 5,
+                },
+                "too_large_for_pool",
+                507,
+            ),
+            (
+                FailureReason::Engine(CoreError::InvalidConfig("boom".into())),
+                "engine_error",
+                500,
+            ),
+            (FailureReason::Cancelled, "cancelled", 499),
+            (
+                FailureReason::DeadlineExceeded { deadline_steps: 3 },
+                "deadline_exceeded",
+                504,
+            ),
+        ];
+        for (reason, code, status) in cases {
+            assert_eq!(reason.code(), code);
+            assert_eq!(reason.http_status(), status);
+            assert_eq!(reason.wire(), WireCode { code, status });
+        }
+        assert_eq!(
+            FailureReason::Cancelled.wire().to_string(),
+            "cancelled (499)"
+        );
+    }
+
+    #[test]
+    fn submit_rejections_classify_by_fault() {
+        assert_eq!(
+            submit_rejection(&CoreError::InvalidConfig("bad".into())),
+            WireCode {
+                code: "invalid_request",
+                status: 400
+            }
+        );
+        assert_eq!(
+            submit_rejection(&CoreError::InvalidSelection("bad".into())).status,
+            400
+        );
+        assert_eq!(
+            submit_rejection(&CoreError::PoolExhausted {
+                in_use: 4,
+                capacity: 4
+            }),
+            WireCode {
+                code: "pool_exhausted",
+                status: 503
+            }
+        );
+        assert_eq!(
+            submit_rejection(&CoreError::InvalidBlock {
+                id: 1,
+                op: "retain"
+            })
+            .status,
+            500
+        );
     }
 
     #[test]

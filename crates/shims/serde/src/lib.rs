@@ -272,6 +272,21 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// `Value` round-trips through itself, exactly like real serde_json's
+// `Value: Serialize + Deserialize`: callers that need to inspect JSON of an
+// unknown shape (the kf-serve wire layer) parse straight into the tree.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {

@@ -9,6 +9,8 @@
 //!   positions) and the [`model::engine::InferenceEngine`].
 //! * [`serve`] — the continuous-batching serving layer: many concurrent sequences
 //!   decoding against one shared model behind a memory-aware admission queue.
+//! * [`net`] — the `kf_serve` network front-end over [`serve`]: TCP listener, job
+//!   lifecycle, streaming drains and an idempotent result cache.
 //! * [`text`] — synthetic tasks, ROUGE and evaluation drivers.
 //! * [`perf`] — the analytic A100 roofline model.
 //! * [`harness`] — experiment definitions regenerating every paper table and figure.
@@ -39,3 +41,4 @@ pub use keyformer_perf as perf;
 pub use keyformer_serve as serve;
 pub use keyformer_tensor as tensor;
 pub use keyformer_text as text;
+pub use kf_serve as net;

@@ -1,0 +1,172 @@
+//! Arrival-triggered preemption (`ServerConfig::preempt_on_arrival`):
+//!
+//! 1. With the knob **on**, a high-priority arrival whose reservation does
+//!    not fit immediately preempts a strictly-lower-priority running session
+//!    instead of waiting for it to retire — and the victim, recomputed on
+//!    re-admission, produces tokens identical to an uncontended solo run.
+//! 2. With the knob **off** (the default), the same workload emits no
+//!    `Preempted` event: arrivals wait for retirement, bit-for-bit as before.
+//! 3. Equal priorities never trigger arrival preemption (strict `<` only),
+//!    so same-priority traffic cannot livelock by evicting itself.
+
+use keyformer::core::spec::PolicySpec;
+use keyformer::model::families::ModelFamily;
+use keyformer::model::generation::GenerationConfig;
+use keyformer::serve::{Engine, EventKind, Request, RequestId, ServerConfig, SubmitOptions};
+
+const MODEL_SEED: u64 = 41;
+
+fn prompt(len: usize, salt: u32) -> Vec<u32> {
+    (0..len)
+        .map(|t| (t as u32 * 13 + 7 + salt * 31) % 120)
+        .collect()
+}
+
+/// A pool of `slots` token slots: sized so one unbudgeted request fits and
+/// two do not, forcing arrival-time contention.
+fn tight_config(slots: usize, preempt_on_arrival: bool) -> ServerConfig {
+    let model = ModelFamily::Tiny.build(MODEL_SEED);
+    let bytes_per_token = model.empty_cache().bytes_per_token();
+    ServerConfig::new(PolicySpec::Full, None, slots * bytes_per_token)
+        .with_block_size(4)
+        .with_preempt_on_arrival(preempt_on_arrival)
+}
+
+fn request(id: u64, salt: u32, gen: usize) -> Request {
+    Request::new(id, prompt(12, salt), GenerationConfig::new(gen)).with_unbudgeted()
+}
+
+/// The victim's tokens from an uncontended solo run.
+fn solo_tokens(config: ServerConfig, id: u64, salt: u32, gen: usize) -> Vec<u32> {
+    let model = ModelFamily::Tiny.build(MODEL_SEED);
+    let mut engine = Engine::new(&model, config).unwrap();
+    engine.submit(request(id, salt, gen)).unwrap();
+    engine.run(10_000);
+    assert!(engine.is_idle());
+    engine.completions()[0].output.generated.clone()
+}
+
+/// Runs the contended workload: a low-priority victim decodes alone, then a
+/// `priority`-level arrival lands mid-decode. Returns the drained events and
+/// the completed engine.
+fn contended_run(
+    config: ServerConfig,
+    arrival_priority: u8,
+) -> (Vec<EventKind>, Vec<(u64, Vec<u32>)>) {
+    let model = ModelFamily::Tiny.build(MODEL_SEED);
+    let mut engine = Engine::new(&model, config).unwrap();
+    engine.submit(request(1, 1, 8)).unwrap();
+    // Admit the victim and let it decode a few tokens.
+    for _ in 0..4 {
+        engine.step();
+    }
+    assert_eq!(engine.running(), 1, "victim should be running mid-decode");
+    engine
+        .submit_with(
+            request(2, 2, 8),
+            SubmitOptions::new().with_priority(arrival_priority),
+        )
+        .unwrap();
+    engine.run(10_000);
+    assert!(engine.is_idle(), "contended workload drained");
+    assert!(engine.failures().is_empty(), "no failures");
+    let events = engine
+        .drain_events()
+        .iter()
+        .map(|e| e.kind.clone())
+        .collect();
+    let completions = engine
+        .completions()
+        .iter()
+        .map(|c| (c.id.raw(), c.output.generated.clone()))
+        .collect();
+    (events, completions)
+}
+
+fn preempted_count(events: &[EventKind]) -> usize {
+    events
+        .iter()
+        .filter(|k| matches!(k, EventKind::Preempted))
+        .count()
+}
+
+#[test]
+fn high_priority_arrival_preempts_and_victim_recomputes_identically() {
+    // 7 blocks of 4: one 5-block reservation fits, two cannot coexist.
+    let config = tight_config(28, true);
+    let (events, completions) = contended_run(config, 3);
+    assert!(
+        preempted_count(&events) > 0,
+        "the arrival should have preempted the running victim"
+    );
+    // Both completed despite the contention.
+    assert_eq!(completions.len(), 2);
+    for (id, tokens) in &completions {
+        let salt = *id as u32;
+        assert_eq!(
+            tokens,
+            &solo_tokens(config, *id, salt, 8),
+            "request {id}: preemption must not change a single token"
+        );
+    }
+}
+
+#[test]
+fn default_configuration_never_preempts_on_arrival() {
+    let config = tight_config(28, false);
+    let (events, completions) = contended_run(config, 3);
+    assert_eq!(
+        preempted_count(&events),
+        0,
+        "with the knob off, arrivals wait for retirement"
+    );
+    assert_eq!(completions.len(), 2);
+    // The victim retires first: it was never evicted.
+    assert_eq!(completions[0].0, 1);
+    for (id, tokens) in &completions {
+        let salt = *id as u32;
+        assert_eq!(tokens, &solo_tokens(config, *id, salt, 8));
+    }
+}
+
+#[test]
+fn equal_priority_arrivals_do_not_preempt() {
+    let config = tight_config(28, true);
+    let (events, completions) = contended_run(config, 0);
+    assert_eq!(
+        preempted_count(&events),
+        0,
+        "equal priority is not strictly lower: no arrival preemption"
+    );
+    assert_eq!(completions.len(), 2);
+}
+
+#[test]
+fn cancelling_a_preempting_arrival_leaves_the_pool_clean() {
+    let config = tight_config(28, true);
+    let model = ModelFamily::Tiny.build(MODEL_SEED);
+    let mut engine = Engine::new(&model, config).unwrap();
+    engine.submit(request(1, 1, 8)).unwrap();
+    for _ in 0..4 {
+        engine.step();
+    }
+    engine
+        .submit_with(request(2, 2, 8), SubmitOptions::new().with_priority(3))
+        .unwrap();
+    // Let the preemption land, then cancel the usurper.
+    engine.step();
+    assert!(engine.cancel(RequestId::new(2)));
+    engine.run(10_000);
+    assert!(engine.is_idle());
+    let stats = engine.pool_stats();
+    assert_eq!(stats.in_use, 0, "no leaked blocks");
+    assert_eq!(stats.reserved, 0, "no leaked reservations");
+    // The preempted victim still completed, token-identically.
+    let tokens = engine
+        .completions()
+        .iter()
+        .find(|c| c.id.raw() == 1)
+        .map(|c| c.output.generated.clone())
+        .expect("victim completed");
+    assert_eq!(tokens, solo_tokens(config, 1, 1, 8));
+}
