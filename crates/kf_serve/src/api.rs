@@ -347,7 +347,7 @@ pub fn admit(spec: GenerateSpec, node: &NodeShared) -> Admission {
             };
         }
         let job = jobs.create(prompt_len, Some(spec.key.clone()), JobState::Queued);
-        if let Some(primary) = dedup.attach_follower(&spec.key, job) {
+        if let Some(primary) = dedup.attach_follower(&spec.key, job, spec.options) {
             drop(dedup);
             jobs.update(job, |r, c| {
                 r.coalesced_into = Some(primary);

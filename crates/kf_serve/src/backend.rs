@@ -47,11 +47,14 @@ pub enum Command {
 }
 
 /// One in-flight deduplication group: the primary actually running on the
-/// engine plus the duplicates riding on its result.
+/// engine plus the duplicates riding on its result. Each follower keeps the
+/// [`SubmitOptions`] its own request carried, so a promotion after the
+/// primary cancels resubmits with the promoted request's priority/deadline
+/// instead of silently reverting to the defaults.
 struct Inflight {
     key: ResultKey,
     primary: JobId,
-    followers: Vec<JobId>,
+    followers: Vec<(JobId, SubmitOptions)>,
 }
 
 /// Shared dedup state: the result cache plus the in-flight coalescing table.
@@ -89,15 +92,21 @@ impl DedupState {
             });
     }
 
-    /// Attaches `follower` to the in-flight group for `key`, returning the
+    /// Attaches `follower` to the in-flight group for `key`, remembering its
+    /// own scheduling `options` for a possible later promotion. Returns the
     /// primary's id when a group exists.
-    pub fn attach_follower(&mut self, key: &ResultKey, follower: JobId) -> Option<JobId> {
+    pub fn attach_follower(
+        &mut self,
+        key: &ResultKey,
+        follower: JobId,
+        options: SubmitOptions,
+    ) -> Option<JobId> {
         let group = self
             .inflight
             .get_mut(&key.content_hash())?
             .iter_mut()
             .find(|g| g.key == *key)?;
-        group.followers.push(follower);
+        group.followers.push((follower, options));
         Some(group.primary)
     }
 
@@ -105,7 +114,7 @@ impl DedupState {
     pub fn detach_follower(&mut self, follower: JobId) {
         for chain in self.inflight.values_mut() {
             for group in chain.iter_mut() {
-                group.followers.retain(|&f| f != follower);
+                group.followers.retain(|&(f, _)| f != follower);
             }
         }
     }
@@ -296,7 +305,7 @@ impl Pump<'_> {
             let group = dedup.take_group_of_primary(job);
             drop(dedup);
             self.fail_job(job, wire, format!("submit rejected: {e}"));
-            for follower in group.into_iter().flat_map(|g| g.followers) {
+            for (follower, _) in group.into_iter().flat_map(|g| g.followers) {
                 self.fail_job(follower, wire, format!("submit rejected: {e}"));
             }
         }
@@ -386,7 +395,7 @@ impl Pump<'_> {
         for (job, wire, message) in failures {
             let group = self.shared.dedup().take_group_of_primary(job);
             self.fail_job(job, wire, message.clone());
-            for follower in group.into_iter().flat_map(|g| g.followers) {
+            for (follower, _) in group.into_iter().flat_map(|g| g.followers) {
                 self.fail_job(follower, wire, message.clone());
             }
         }
@@ -423,11 +432,14 @@ impl Pump<'_> {
             r.key = None;
             c.completed += 1;
         });
-        for follower in followers {
+        for (follower, _) in followers {
             self.shared.jobs.update(follower, |r, _| {
                 r.state = JobState::Done;
                 r.tokens = tokens.clone();
                 r.deduplicated = true;
+                // The tokens are the follower's own now: detach it from the
+                // primary so its stream survives the primary record's GC.
+                r.coalesced_into = None;
                 r.key = None;
             });
         }
@@ -448,15 +460,15 @@ impl Pump<'_> {
             return;
         };
         let mut followers = group.followers.into_iter();
-        let Some(promoted) = followers.next() else {
+        let Some((promoted, promoted_options)) = followers.next() else {
             return;
         };
-        let rest: Vec<JobId> = followers.collect();
+        let rest: Vec<(JobId, SubmitOptions)> = followers.collect();
         self.shared.jobs.update(promoted, |r, _| {
             r.state = JobState::Queued;
             r.coalesced_into = None;
         });
-        for &follower in &rest {
+        for &(follower, _) in &rest {
             self.shared.jobs.update(follower, |r, _| {
                 r.coalesced_into = Some(promoted);
             });
@@ -464,11 +476,13 @@ impl Pump<'_> {
         {
             let mut dedup = self.shared.dedup();
             dedup.register_inflight(group.key.clone(), promoted);
-            for follower in rest {
-                dedup.attach_follower(&group.key, follower);
+            for (follower, options) in rest {
+                dedup.attach_follower(&group.key, follower, options);
             }
         }
-        self.submit(promoted, group.key, SubmitOptions::new());
+        // The promoted run keeps the scheduling options its own request
+        // carried (priority, deadline) rather than reverting to defaults.
+        self.submit(promoted, group.key, promoted_options);
     }
 
     fn fail_job(&self, job: JobId, wire: keyformer_serve::WireCode, message: String) {
@@ -506,5 +520,41 @@ impl Pump<'_> {
             .snapshot
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner) = snapshot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keyformer_core::cache::KvDtype;
+    use keyformer_core::spec::PolicySpec;
+    use keyformer_model::generation::GenerationConfig;
+
+    fn key(salt: u32) -> ResultKey {
+        ResultKey {
+            prompt: vec![salt, 2, 3],
+            policy: PolicySpec::Full,
+            budget: None,
+            dtype: KvDtype::F32,
+            config: GenerationConfig::new(4),
+        }
+    }
+
+    #[test]
+    fn followers_keep_their_submit_options_for_promotion() {
+        let mut dedup = DedupState::new(true, ResultCache::new(4, 1_000));
+        dedup.register_inflight(key(1), 1);
+        let urgent = SubmitOptions::new().with_priority(7).with_deadline_steps(9);
+        assert_eq!(dedup.attach_follower(&key(1), 2, urgent), Some(1));
+        assert_eq!(
+            dedup.attach_follower(&key(1), 3, SubmitOptions::new()),
+            Some(1)
+        );
+        // A cancelled primary promotes its oldest follower with the options
+        // that follower's own request carried, not the defaults.
+        let group = dedup.take_group_of_primary(1).unwrap();
+        assert_eq!(group.followers[0], (2, urgent));
+        assert_eq!(group.followers[1], (3, SubmitOptions::new()));
+        assert_eq!(dedup.inflight_groups(), 0);
     }
 }

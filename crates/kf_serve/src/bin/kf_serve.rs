@@ -32,6 +32,8 @@ USAGE: kf_serve [FLAGS]
   --cache-capacity N      result-cache entries (default 256)
   --cache-ttl-ms N        result-cache TTL in milliseconds (default 60000)
   --retained-jobs N       terminal job records kept pollable (default 1024)
+  --max-connections N     concurrent connection threads; excess gets 503 (default 256)
+  --ndjson-idle-ms N      NDJSON session idle timeout in ms; 0 = none (default 300000)
 ";
 
 fn fail(message: &str) -> ! {
@@ -110,6 +112,8 @@ fn main() {
     let mut cache_capacity = 256usize;
     let mut cache_ttl_ms = 60_000u64;
     let mut retained_jobs = 1024usize;
+    let mut max_connections = 256usize;
+    let mut ndjson_idle_ms = 300_000u64;
 
     while let Some(flag) = flags.next() {
         match flag.as_str() {
@@ -136,6 +140,8 @@ fn main() {
             "--cache-capacity" => cache_capacity = flags.number("--cache-capacity"),
             "--cache-ttl-ms" => cache_ttl_ms = flags.number("--cache-ttl-ms"),
             "--retained-jobs" => retained_jobs = flags.number("--retained-jobs"),
+            "--max-connections" => max_connections = flags.number("--max-connections"),
+            "--ndjson-idle-ms" => ndjson_idle_ms = flags.number("--ndjson-idle-ms"),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -176,7 +182,9 @@ fn main() {
     let node = NodeConfig::new(family, model_seed, engine)
         .with_dedup(dedup)
         .with_cache(cache_capacity, cache_ttl_ms)
-        .with_retained_jobs(retained_jobs);
+        .with_retained_jobs(retained_jobs)
+        .with_max_connections(max_connections)
+        .with_ndjson_idle_timeout(ndjson_idle_ms);
     match kf_serve::serve(&addr, node) {
         Ok(handle) => {
             println!(

@@ -160,7 +160,9 @@ impl JobTable {
     }
 
     /// Creates a job in `state` and returns its id. `key` is retained on the
-    /// record for the pump's completion-time cache insert.
+    /// record for the pump's completion-time cache insert. A job born terminal
+    /// (a cache hit) joins the retirement ring immediately so it obeys the
+    /// retention cap like every other finished record.
     pub fn create(&self, prompt_len: usize, key: Option<ResultKey>, state: JobState) -> JobId {
         let mut jobs = self.lock();
         let id = jobs.next_id;
@@ -179,6 +181,9 @@ impl JobTable {
                 key,
             },
         );
+        if state.is_terminal() {
+            jobs.retired.push_back(id);
+        }
         self.gc(&mut jobs);
         self.changed.notify_all();
         id
@@ -337,6 +342,26 @@ mod tests {
             table.update(id, |r, _| r.state = JobState::Cancelled);
         }
         assert!(table.with_job(live, |_| ()).is_some());
+    }
+
+    #[test]
+    fn terminal_born_jobs_obey_the_retention_cap() {
+        // Cache hits create jobs already Done; they must join the retirement
+        // ring at birth or repeated hits grow the table without bound.
+        let table = JobTable::new(2);
+        let ids: Vec<JobId> = (0..5)
+            .map(|_| table.create(1, None, JobState::Done))
+            .collect();
+        assert!(table.with_job(ids[0], |_| ()).is_none());
+        assert!(table.with_job(ids[1], |_| ()).is_none());
+        assert!(table.with_job(ids[2], |_| ()).is_none());
+        assert!(table.with_job(ids[3], |_| ()).is_some());
+        assert!(table.with_job(ids[4], |_| ()).is_some());
+        // The cache-hit path fills tokens right after the terminal-born
+        // create; the record must still be readable then.
+        let hit = table.create(1, None, JobState::Done);
+        assert!(table.update(hit, |r, _| r.tokens.push(1)));
+        assert_eq!(table.with_job(hit, |r| r.tokens.clone()), Some(vec![1]));
     }
 
     #[test]

@@ -39,7 +39,7 @@ use keyformer_serve::ServerConfig;
 use serde::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -61,6 +61,14 @@ pub struct NodeConfig {
     /// Terminal job records retained for polling before garbage collection
     /// (default 1024).
     pub retained_jobs: usize,
+    /// Concurrent connection threads allowed; connections past the cap are
+    /// answered `503` and closed, so a flood of sockets cannot exhaust
+    /// threads or memory (default 256).
+    pub max_connections: usize,
+    /// Idle read timeout for persistent NDJSON sessions in milliseconds; a
+    /// session silent this long is closed rather than pinning its thread
+    /// forever. `0` disables the timeout (default five minutes).
+    pub ndjson_idle_timeout_ms: u64,
 }
 
 impl NodeConfig {
@@ -75,6 +83,8 @@ impl NodeConfig {
             cache_capacity: 256,
             cache_ttl_ms: 60_000,
             retained_jobs: 1024,
+            max_connections: 256,
+            ndjson_idle_timeout_ms: 300_000,
         }
     }
 
@@ -94,6 +104,18 @@ impl NodeConfig {
     /// Sets how many terminal job records stay pollable.
     pub fn with_retained_jobs(mut self, retained: usize) -> Self {
         self.retained_jobs = retained;
+        self
+    }
+
+    /// Caps the number of concurrent connection threads.
+    pub fn with_max_connections(mut self, max: usize) -> Self {
+        self.max_connections = max.max(1);
+        self
+    }
+
+    /// Sets the NDJSON session idle timeout (`0` disables it).
+    pub fn with_ndjson_idle_timeout(mut self, ms: u64) -> Self {
+        self.ndjson_idle_timeout_ms = ms;
         self
     }
 }
@@ -234,6 +256,7 @@ pub fn serve(addr: &str, config: NodeConfig) -> Result<ServeHandle, ServeError> 
     let accept = {
         let node = Arc::clone(&node);
         let stop = Arc::clone(&stop);
+        let active = Arc::new(AtomicUsize::new(0));
         std::thread::Builder::new()
             .name("kf-serve-accept".into())
             .spawn(move || {
@@ -241,14 +264,31 @@ pub fn serve(addr: &str, config: NodeConfig) -> Result<ServeHandle, ServeError> 
                     if stop.load(Ordering::SeqCst) {
                         break;
                     }
-                    let Ok(stream) = stream else { continue };
+                    let Ok(mut stream) = stream else { continue };
+                    // The cap bounds detached connection threads: past it the
+                    // peer gets a fast 503 instead of a thread of its own.
+                    if active.fetch_add(1, Ordering::SeqCst) >= node.config.max_connections {
+                        active.fetch_sub(1, Ordering::SeqCst);
+                        let fault = api::WireFault {
+                            status: 503,
+                            code: "overloaded",
+                            message: "connection limit reached; retry shortly".to_string(),
+                        };
+                        let _ = http::write_response(&mut stream, fault.status, &fault.body());
+                        continue;
+                    }
                     let node = Arc::clone(&node);
+                    let slot = SlotGuard(Arc::clone(&active));
                     // Connection threads are detached: they outlive at most
-                    // one exchange (HTTP) or one session (NDJSON), and
-                    // shutdown retires every job they could be waiting on.
+                    // one exchange (HTTP) or one idle-bounded session
+                    // (NDJSON), and shutdown retires every job they could be
+                    // waiting on.
                     let _ = std::thread::Builder::new()
                         .name("kf-serve-conn".into())
-                        .spawn(move || handle_connection(stream, &node));
+                        .spawn(move || {
+                            let _slot = slot;
+                            handle_connection(stream, &node);
+                        });
                 }
             })
             .expect("spawning the accept thread")
@@ -260,6 +300,16 @@ pub fn serve(addr: &str, config: NodeConfig) -> Result<ServeHandle, ServeError> 
         pump: Some(pump),
         node,
     })
+}
+
+/// Releases one connection-cap slot when its connection thread exits,
+/// however it exits.
+struct SlotGuard(Arc<AtomicUsize>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Dispatches one fresh connection to the protocol its first line selects: a
@@ -451,9 +501,16 @@ fn ndjson_session(
     writer: &mut TcpStream,
     node: &Arc<NodeShared>,
 ) {
-    // Sessions may idle between ops; the anti-wedge timeout only guards the
-    // initial protocol sniff.
-    let _ = writer.set_read_timeout(None);
+    // Sessions may idle between ops, so the tight protocol-sniff timeout is
+    // replaced with a generous idle bound: a peer silent that long ends the
+    // session (the read errors out and the loop returns) instead of pinning
+    // its connection thread forever.
+    let idle = node.config.ndjson_idle_timeout_ms;
+    let _ = writer.set_read_timeout(if idle == 0 {
+        None
+    } else {
+        Some(Duration::from_millis(idle))
+    });
     let mut line = first.to_string();
     loop {
         if !line.trim().is_empty() && ndjson_op(line.trim(), writer, node).is_err() {

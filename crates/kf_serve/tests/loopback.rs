@@ -205,6 +205,11 @@ fn concurrent_duplicate_coalesces_onto_the_primary() {
     let twin_record = await_terminal(&handle, twin_job);
     assert_eq!(str_field(&first_record, "state"), Some("done"));
     assert_eq!(str_field(&twin_record, "state"), Some("done"));
+    assert_eq!(
+        u64_field(&twin_record, "coalesced_into"),
+        None,
+        "a completed follower owns its tokens and detaches from the primary"
+    );
     let first_tokens = tokens_field(&first_record, "tokens").unwrap();
     assert_eq!(
         tokens_field(&twin_record, "tokens").unwrap(),
@@ -306,6 +311,127 @@ fn dedup_off_runs_every_request() {
     let jobs = stats.field("jobs").unwrap();
     assert_eq!(u64_field(jobs, "cache_hits"), Some(0));
     assert_eq!(u64_field(jobs, "completed"), Some(2));
+    handle.shutdown();
+}
+
+#[test]
+fn repeated_cache_hits_keep_the_job_table_bounded() {
+    let engine_config = pool_config(160);
+    let handle = serve(
+        "127.0.0.1:0",
+        NodeConfig::new(ModelFamily::Tiny, MODEL_SEED, engine_config)
+            .with_dedup(true)
+            .with_retained_jobs(2),
+    )
+    .expect("node boots");
+    let client = handle.client();
+    let p = prompt(20, 8);
+    let body = generate_body(&p, 4, "");
+
+    let (_, first) = client.generate(&body).expect("first generate");
+    let first_job = u64_field(&first, "job_id").unwrap();
+    await_terminal(&handle, first_job);
+
+    // Every repeat is a cache hit whose job is born terminal; those records
+    // must rotate through the retention ring like any other finished job.
+    let mut hit_jobs = Vec::new();
+    for _ in 0..4 {
+        let (status, repeat) = client.generate(&body).expect("cached repeat");
+        assert_eq!(status, 200);
+        hit_jobs.push(u64_field(&repeat, "job_id").unwrap());
+    }
+    let jobs = &handle.node().pump.jobs;
+    assert_eq!(
+        jobs.live(),
+        0,
+        "terminal-born records must never count as live"
+    );
+    // With a cap of 2, only the two newest terminal records survive.
+    assert!(jobs.with_job(first_job, |_| ()).is_none());
+    assert!(jobs.with_job(hit_jobs[0], |_| ()).is_none());
+    assert!(jobs.with_job(hit_jobs[1], |_| ()).is_none());
+    assert!(jobs.with_job(hit_jobs[2], |_| ()).is_some());
+    assert!(jobs.with_job(hit_jobs[3], |_| ()).is_some());
+    let (status, _) = client.job(first_job).expect("poll GC'd job");
+    assert_eq!(status, 404, "a GC'd record answers 404 over the wire");
+    handle.shutdown();
+}
+
+#[test]
+fn connections_past_the_cap_answer_503() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let handle = serve(
+        "127.0.0.1:0",
+        NodeConfig::new(ModelFamily::Tiny, MODEL_SEED, pool_config(160)).with_max_connections(1),
+    )
+    .expect("node boots");
+    let client = handle.client();
+
+    // Hold the single slot with a persistent NDJSON session.
+    let mut held = std::net::TcpStream::connect(handle.local_addr()).expect("connect");
+    held.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    writeln!(held, "{{\"op\":\"stats\"}}").expect("write op");
+    held.flush().unwrap();
+    let mut held_reader = BufReader::new(held.try_clone().unwrap());
+    let mut line = String::new();
+    held_reader.read_line(&mut line).expect("stats reply");
+    assert!(line.contains("jobs"), "the held session is being served");
+
+    // Any further connection is shed with a fast 503.
+    let (status, body) = client.stats().expect("overloaded stats");
+    assert_eq!(status, 503);
+    assert_eq!(str_field(&body, "error"), Some("overloaded"));
+
+    // Releasing the held session frees the slot again.
+    drop(held_reader);
+    drop(held);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok((200, _)) = client.stats() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "the slot never came back after the session closed"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn idle_ndjson_sessions_are_closed_by_the_server() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let handle = serve(
+        "127.0.0.1:0",
+        NodeConfig::new(ModelFamily::Tiny, MODEL_SEED, pool_config(160))
+            .with_ndjson_idle_timeout(100),
+    )
+    .expect("node boots");
+
+    let mut session = std::net::TcpStream::connect(handle.local_addr()).expect("connect");
+    session
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    writeln!(session, "{{\"op\":\"stats\"}}").expect("write op");
+    session.flush().unwrap();
+    let mut reader = BufReader::new(session);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("stats reply");
+    assert!(line.contains("jobs"));
+
+    // Then go silent: the server must end the session, not pin its thread.
+    let waited = Instant::now();
+    line.clear();
+    let n = reader.read_line(&mut line).expect("server-side close");
+    assert_eq!(n, 0, "the idle session ends with a clean EOF");
+    assert!(
+        waited.elapsed() < Duration::from_secs(20),
+        "the idle close must come from the 100ms server timeout"
+    );
     handle.shutdown();
 }
 
